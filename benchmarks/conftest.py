@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artefact (table or figure) at full
+scale, asserts the paper's qualitative claims about it, and writes the
+rendered text to ``benchmarks/results/`` — the files EXPERIMENTS.md's
+numbers are drawn from.
+
+The experiment harness itself is deterministic, so each artefact is
+benchmarked with a single round (``benchmark.pedantic(..., rounds=1)``);
+only the model-evaluation microbenchmark uses normal repeated timing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write an artefact's rendered text to benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _save

@@ -1,0 +1,28 @@
+"""Bench A1: error ablation — quantifying Section 5.4's limitations.
+
+The paper attributes MHETA's residual error to unmodelled cache
+behaviour, the simplistic out-of-core heuristic, and sparse data sets.
+Our emulator implements each as a switchable effect; disabling an effect
+must not *increase* the error materially, and the CG-specific effects
+(sparse weights, OS read cache) must account for a visible share of CG's
+error on configuration IO.
+"""
+
+from repro.experiments import error_ablation
+
+
+def test_ablation_cg_on_io(benchmark, save_result):
+    result = benchmark.pedantic(
+        error_ablation, kwargs={"steps_per_leg": 3}, rounds=1, iterations=1
+    )
+    save_result("ablation_cg_io", result.describe())
+
+    assert result.baseline_mean > 0.5  # the effects do produce error
+    for effect, (mean, _mx) in result.without.items():
+        # Removing a ground-truth effect never makes the model much
+        # worse (tolerance for cross-effect interaction).
+        assert mean <= result.baseline_mean + 1.5, effect
+    # The sparse-row imbalance is a real contributor for CG.
+    assert result.contribution("sparse-weights") > 0.0
+    # So is the OS read cache (the IO-configuration over-estimates).
+    assert result.contribution("os-read-cache") > 0.0

@@ -1,0 +1,46 @@
+"""Bench S2 (extension): the Section-6 adaptive runtime, end to end.
+
+The paper's closing claim is that MHETA + search + on-the-fly
+redistribution "can provide an infrastructure for efficient support of
+out-of-core parallel programs on heterogeneous clusters".  This bench
+runs that whole protocol at paper scale on DC and HY1 and checks it
+actually pays: instrumented iteration + search + redistribution +
+remaining iterations beats running the whole job statically on Blk.
+"""
+
+from repro.cluster import config_dc, config_hy1
+from repro.runtime import AdaptiveRuntime
+from repro.apps import JacobiApp
+
+
+def _run(cluster):
+    program = JacobiApp.paper().structure
+    return AdaptiveRuntime(cluster, program).run()
+
+
+def test_adaptive_runtime_dc(benchmark, save_result):
+    report = benchmark.pedantic(_run, args=(config_dc(),), rounds=1, iterations=1)
+    save_result("adaptive_dc", report.describe())
+    assert report.switched
+    assert report.speedup_vs_static > 1.5
+    # The one-time costs stay modest against the job: instrumentation
+    # (a forced-out-of-core iteration) + search + redistribution under
+    # 20% of the adaptive total, and tiny against what switching saved.
+    overhead = (
+        report.instrumented_seconds
+        + report.search_wall_seconds
+        + report.redistribution_seconds
+    )
+    assert overhead < 0.20 * report.adaptive_seconds
+    assert overhead < 0.10 * (report.static_seconds - report.adaptive_seconds)
+    # MHETA's prediction of the remaining iterations is honest.
+    assert abs(
+        report.remaining_seconds - report.predicted_remaining_seconds
+    ) / report.remaining_seconds < 0.05
+
+
+def test_adaptive_runtime_hy1(benchmark, save_result):
+    report = benchmark.pedantic(_run, args=(config_hy1(),), rounds=1, iterations=1)
+    save_result("adaptive_hy1", report.describe())
+    assert report.switched
+    assert report.speedup_vs_static > 1.2

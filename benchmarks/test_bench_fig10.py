@@ -1,0 +1,94 @@
+"""Bench F10: predicted-vs-actual curves for configurations DC and IO.
+
+Paper claims under test:
+
+* DC (CPU heterogeneity only): the spectrum collapses to Blk..Bal..Blk,
+  Bal wins for every application, and MHETA tracks the whole curve;
+* IO (I/O heterogeneity only): the spectrum collapses to Blk..I-C; MHETA
+  tracks Jacobi/Lanczos/RNA well, mildly over-estimates just before I-C
+  (OS read caching makes the remaining iterations cheaper than the
+  instrumented one), and CG is the weak spot (~10% at the circles).
+"""
+
+import pytest
+
+from repro.experiments import config_curves
+
+
+@pytest.fixture(scope="module")
+def dc_curves():
+    return config_curves("DC", steps_per_leg=4)
+
+
+@pytest.fixture(scope="module")
+def io_curves():
+    return config_curves("IO", steps_per_leg=4)
+
+
+def test_fig10_dc(benchmark, save_result):
+    curves = benchmark.pedantic(
+        config_curves, args=("DC",), kwargs={"steps_per_leg": 4},
+        rounds=1, iterations=1,
+    )
+    save_result("fig10_dc", curves.describe())
+    for run in curves.runs:
+        # DC has no memory pressure: Bal is the best distribution.
+        assert run.best_actual.label == "Bal", run.app_name
+        # Model agrees with reality about the winner.
+        assert run.best_predicted.label == "Bal", run.app_name
+        assert run.mean_error_percent < 8.0
+    labels = [p.label for p in curves.runs[0].points]
+    assert "I-C" not in labels  # the degenerate DC spectrum
+
+
+def test_fig10_io(benchmark, save_result):
+    curves = benchmark.pedantic(
+        config_curves, args=("IO",), kwargs={"steps_per_leg": 4},
+        rounds=1, iterations=1,
+    )
+    save_result("fig10_io", curves.describe())
+    labels = [p.label for p in curves.runs[0].points]
+    assert "Bal" not in labels  # homogeneous CPUs: Blk..I-C only
+    jacobi = curves.run("jacobi")
+    # Large spread: Blk is crippled by I/O, I-C is far better.
+    assert jacobi.points[0].actual_seconds > 3 * jacobi.best_actual.actual_seconds
+    # Non-CG applications are predicted tightly.
+    for name in ("jacobi", "lanczos", "rna"):
+        assert curves.run(name).mean_error_percent < 5.0, name
+    # CG is the worst case but bounded (paper: difference only ~10%).
+    assert curves.run("cg").max_error_percent < 25.0
+
+
+def test_fig10_io_overestimate_before_ic(benchmark, io_curves, save_result):
+    """The pre-I-C over-estimation effect: for the I/O-bound apps, the
+    signed error just before I-C is positive (over-prediction), and it
+    shrinks at I-C itself."""
+
+    def analyse():
+        rows = []
+        for name in ("jacobi", "lanczos"):
+            run = io_curves.run(name)
+            # Last spectrum point that still has substantial I/O (time
+            # well above the in-core minimum): the "right before I-C"
+            # region of the paper's observation.
+            floor = run.best_actual.actual_seconds
+            io_bound = [
+                p for p in run.points[:-1] if p.actual_seconds > 1.5 * floor
+            ]
+            peak = max(p.signed_error_percent for p in io_bound)
+            blk = run.points[0].signed_error_percent
+            at_ic = run.points[-1].signed_error_percent
+            rows.append((name, blk, peak, at_ic))
+        return rows
+
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    text = "\n".join(
+        f"{name}: signed error at Blk {blk:+.2f}%, peak before I-C "
+        f"{peak:+.2f}%, at I-C {at:+.2f}%"
+        for name, blk, peak, at in rows
+    )
+    save_result("fig10_io_overestimate", text)
+    for name, blk, peak, at in rows:
+        assert peak > 0.0, name  # over-estimation while I/O-bound
+        assert peak >= blk, name  # effect grows approaching I-C
+        assert abs(at) < peak, name  # and collapses once in core

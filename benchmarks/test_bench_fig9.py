@@ -1,0 +1,98 @@
+"""Bench F9: the four Figure-9 accuracy panels, at paper scale.
+
+Paper claims under test:
+
+* all four applications without prefetching, seventeen emulated
+  architectures: ~98% average accuracy (average percent difference a few
+  percent, maxima well below the divergence that would make the model
+  useless);
+* Jacobi with prefetching over twelve architectures: also ~98%;
+* RNA is among the best-predicted applications, CG the worst;
+* predicting the instrumented (Blk) distribution itself errs by ~1%
+  (instrumentation perturbation).
+"""
+
+import pytest
+
+from repro.cluster import config_io
+from repro.distribution import block
+from repro.experiments import build_model, fig9_accuracy
+from repro.sim import ClusterEmulator
+from repro.apps import JacobiApp
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {}
+
+
+def _run_panel(panel: str):
+    return fig9_accuracy(panel=panel, steps_per_leg=3)
+
+
+def test_fig9_all_apps(benchmark, save_result, panels):
+    bands = benchmark.pedantic(_run_panel, args=("all",), rounds=1, iterations=1)
+    panels["all"] = bands
+    save_result("fig9_all_apps", bands.describe())
+    assert len(bands.runs) == 17 * 4
+    # Headline: ~98% accurate on average (we accept >= 93%).
+    assert bands.overall_average_percent < 7.0
+    # Errors exist (the emulator is not the model) but never diverge.
+    assert bands.overall_average_percent > 0.1
+    assert max(bands.maximum) < 40.0
+    # Bands are ordered at every x position.
+    for lo, avg, hi in zip(bands.minimum, bands.average, bands.maximum):
+        assert lo <= avg <= hi
+
+
+def test_fig9_jacobi_prefetch(benchmark, save_result):
+    bands = benchmark.pedantic(
+        _run_panel, args=("jacobi-prefetch",), rounds=1, iterations=1
+    )
+    save_result("fig9_jacobi_prefetch", bands.describe())
+    assert len(bands.runs) == 12
+    assert bands.overall_average_percent < 7.0
+
+
+def test_fig9_rna(benchmark, save_result, panels):
+    bands = benchmark.pedantic(_run_panel, args=("rna",), rounds=1, iterations=1)
+    panels["rna"] = bands
+    save_result("fig9_rna", bands.describe())
+    assert bands.overall_average_percent < 5.0
+
+
+def test_fig9_cg(benchmark, save_result, panels):
+    bands = benchmark.pedantic(_run_panel, args=("cg",), rounds=1, iterations=1)
+    panels["cg"] = bands
+    save_result("fig9_cg", bands.describe())
+    # CG is the worst case but still useful.
+    assert bands.overall_average_percent < 12.0
+    if "rna" in panels:
+        # Best case (RNA) beats worst case (CG), as in the paper.
+        assert (
+            panels["rna"].overall_average_percent
+            < bands.overall_average_percent
+        )
+
+
+def test_blk_self_prediction(benchmark, save_result):
+    """N3: predicting the instrumented distribution errs by ~1%."""
+    cluster = config_io()
+    program = JacobiApp.paper().structure
+
+    def run():
+        model = build_model(cluster, program)
+        d0 = block(cluster, program.n_rows)
+        actual = ClusterEmulator(cluster, program).run(d0).total_seconds
+        predicted = model.predict_seconds(d0)
+        return actual, predicted
+
+    actual, predicted = benchmark.pedantic(run, rounds=1, iterations=1)
+    error = abs(predicted - actual) / min(predicted, actual) * 100
+    save_result(
+        "blk_self_prediction",
+        f"Blk self-prediction (jacobi on IO): actual={actual:.2f}s "
+        f"predicted={predicted:.2f}s error={error:.2f}% "
+        f"(paper: up to ~1%)",
+    )
+    assert error < 2.5

@@ -1,0 +1,46 @@
+"""Bench N1: MHETA evaluation cost (paper: ~5.4 ms per distribution).
+
+This is the one genuine microbenchmark: ``predict_seconds`` is timed
+with pytest-benchmark's repeated rounds.  The paper's point is that the
+model is cheap enough to drive an on-the-fly search; we assert the mean
+stays in single-digit milliseconds (our Python implementation on modern
+hardware is in fact well under one).
+"""
+
+import itertools
+
+from repro.cluster import config_hy1
+from repro.distribution import spectrum
+from repro.experiments import build_model, model_evaluation_timing
+from repro.apps import JacobiApp
+
+
+def test_single_evaluation_speed(benchmark, save_result):
+    cluster = config_hy1()
+    program = JacobiApp.paper().structure
+    model = build_model(cluster, program)
+    candidates = itertools.cycle(
+        [p.distribution for p in spectrum(cluster, program, steps_per_leg=4)]
+    )
+
+    def evaluate():
+        return model.predict_seconds(next(candidates))
+
+    result = benchmark(evaluate)
+    assert result > 0
+    mean_ms = benchmark.stats.stats.mean * 1e3
+    save_result(
+        "model_speed",
+        f"MHETA evaluation (jacobi on HY1): mean {mean_ms:.3f} ms per "
+        f"distribution (paper reports ~5.4 ms on 2005 hardware)",
+    )
+    # Usable on the fly: thousands of evaluations per second.
+    assert mean_ms < 10.0
+
+
+def test_timing_harness(benchmark, save_result):
+    timing = benchmark.pedantic(
+        model_evaluation_timing, rounds=1, iterations=1
+    )
+    save_result("model_speed_harness", timing.describe())
+    assert timing.usable_on_the_fly

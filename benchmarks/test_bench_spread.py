@@ -1,0 +1,28 @@
+"""Bench N2: best-vs-worst distribution spreads (Section 5.3).
+
+Paper claims under test: the worst distribution can cost ~4x (RNA on
+DC) and ~3x (Lanczos on HY1) over the best — the motivation for
+searching at all — and the best distribution is not statically obvious
+across configurations.
+"""
+
+from repro.experiments import distribution_spread
+
+
+def test_spreads(benchmark, save_result):
+    result = benchmark.pedantic(
+        distribution_spread, kwargs={"steps_per_leg": 4},
+        rounds=1, iterations=1,
+    )
+    save_result("spreads", result.describe())
+
+    # RNA on DC: almost a factor of 4 (accept 3..6).
+    assert 3.0 < result.spread("rna", "DC") < 6.0
+    # Lanczos on HY1: about a factor of 3 (accept 2..6).
+    assert 2.0 < result.spread("lanczos", "HY1") < 6.0
+    # Every pair shows a non-trivial spread: picking matters everywhere.
+    assert all(v > 1.2 for v in result.spreads.values())
+    # The winning anchor differs across configurations: no static guess
+    # works (Section 5.3's point).
+    winners = set(result.best_labels.values())
+    assert len(winners) >= 2

@@ -1,0 +1,18 @@
+"""Bench T1: regenerate Table 1 (the four emulated configurations)."""
+
+from repro.cluster import table1_configs
+from repro.experiments import table1
+
+
+def test_table1(benchmark, save_result):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    save_result("table1", text)
+    configs = table1_configs()
+    # The table names every configuration and its paper description.
+    for name in configs:
+        assert name in text
+    assert "equal relative CPU power" in text
+    # Structural claims of Table 1 hold in the generated configs.
+    assert not configs["IO"].is_cpu_homogeneous or True
+    assert configs["IO"].is_cpu_homogeneous
+    assert not configs["DC"].is_cpu_homogeneous

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Regenerate the paper's tables and figures as text.
+
+Runs the full experiment harness: Table 1, the four Figure-9 accuracy
+panels, the Figure-10/11 predicted-vs-actual curves, the evaluation-cost
+measurement, and the best-vs-worst spreads.  By default everything runs
+at reduced scale (about a minute); ``--full`` uses the paper-scale
+problems (several minutes) and is what EXPERIMENTS.md records.
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    dedicated_assumption_study,
+    distribution_spread,
+    error_ablation,
+    fig9_accuracy,
+    figure10,
+    figure11,
+    model_evaluation_timing,
+    table1,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale problems"
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None, help="spectrum steps per leg"
+    )
+    args = parser.parse_args()
+    scale = 1.0 if args.full else 0.1
+    steps = args.steps or (4 if args.full else 2)
+
+    t0 = time.time()
+    banner = lambda s: print("\n" + "=" * 72 + f"\n{s}\n" + "=" * 72)
+
+    banner("Table 1: emulated architecture configurations")
+    print(table1())
+
+    banner("Figure 9: prediction accuracy bands")
+    for panel in ("all", "jacobi-prefetch", "rna", "cg"):
+        bands = fig9_accuracy(panel=panel, scale=scale, steps_per_leg=steps)
+        print(bands.describe())
+        print()
+        print(bands.chart())
+        print()
+
+    banner("Figure 10: configurations DC and IO")
+    for curves in figure10(steps_per_leg=steps, scale=scale):
+        print(curves.describe())
+        print()
+
+    banner("Figure 11: configurations HY1 and HY2")
+    for curves in figure11(steps_per_leg=steps, scale=scale):
+        print(curves.describe())
+        print()
+
+    banner("Model evaluation cost (paper: ~5.4 ms per distribution)")
+    print(model_evaluation_timing().describe())
+
+    banner("Best-vs-worst spreads (paper: ~4x RNA/DC, ~3x Lanczos/HY1)")
+    print(distribution_spread(steps_per_leg=steps, scale=scale).describe())
+
+    banner("Error ablation (Section 5.4's limitations, quantified)")
+    print(error_ablation(scale=scale).describe())
+
+    banner("Robustness: the dedicated-environment assumption (Section 3.2)")
+    print(dedicated_assumption_study(scale=scale).describe())
+
+    print(f"\nTotal wall time: {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: predict an application's execution time with MHETA.
+
+Walks the paper's whole pipeline on one configuration:
+
+1. describe a heterogeneous cluster (Table 1's HY1);
+2. take the Jacobi application's program structure;
+3. run microbenchmarks and one instrumented iteration (under Blk);
+4. predict execution times for candidate distributions with MHETA;
+5. compare against "actual" runs on the emulated cluster.
+
+Run time: a few seconds.  Pass ``--full`` for the paper-scale problem.
+"""
+
+import argparse
+
+from repro import (
+    ClusterEmulator,
+    JacobiApp,
+    block,
+    build_model,
+    config_hy1,
+    spectrum,
+)
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale problem size"
+    )
+    args = parser.parse_args()
+    scale = 1.0 if args.full else 0.1
+
+    cluster = config_hy1()
+    print(cluster.describe(), "\n")
+
+    app = JacobiApp.paper(scale)
+    program = app.structure
+    print(
+        f"{program.name}: {program.n_rows} rows, "
+        f"{program.dataset_bytes / 2**20:.0f} MiB dataset, "
+        f"{program.iterations} iterations\n"
+    )
+
+    # One instrumented iteration under Blk -> the internal MHETA file.
+    model = build_model(cluster, program)
+
+    # Sweep the distribution spectrum, predicted vs actual.
+    emulator = ClusterEmulator(cluster, program)
+    rows = []
+    for point in spectrum(cluster, program, steps_per_leg=2):
+        predicted = model.predict_seconds(point.distribution)
+        actual = emulator.run(point.distribution).total_seconds
+        error = abs(predicted - actual) / min(predicted, actual) * 100
+        rows.append([point.label, actual, predicted, error])
+    print(
+        render_table(
+            ["distribution", "actual (s)", "predicted (s)", "error %"],
+            rows,
+            float_fmt=".2f",
+            title="MHETA predictions across the distribution spectrum",
+        )
+    )
+
+    best = min(rows, key=lambda r: r[2])
+    print(
+        f"\nMHETA picks {best[0]!r}; a per-distribution evaluation costs "
+        "well under a millisecond, so a runtime system can afford to "
+        "search (paper: ~5.4 ms on 2005 hardware)."
+    )
+
+    # Show the per-node breakdown for the chosen distribution.
+    chosen = min(
+        spectrum(cluster, program, steps_per_leg=2),
+        key=lambda p: model.predict_seconds(p.distribution),
+    )
+    print("\n" + model.predict(chosen.distribution).describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Run the real numeric kernels behind the structural models.
+
+The accuracy experiments use structural models of Jacobi, CG, Lanczos,
+RNA and Multigrid; this example runs the genuine algorithms (NumPy, at
+example scale) so the shapes being modelled — iteration counts, the
+per-iteration communication pattern, CG's varying row density — are
+visible in working code.
+
+Run time: a few seconds.
+"""
+
+import numpy as np
+
+from repro.apps.kernels import (
+    cg_solve,
+    jacobi_solve,
+    lanczos_tridiagonalize,
+    make_sparse_spd_matrix,
+    multigrid_solve,
+    rna_fold,
+)
+from repro.apps.kernels.lanczos_kernel import make_spd_dense
+from repro.apps.kernels.rna_kernel import random_sequence
+
+
+def main() -> None:
+    print("-- Jacobi iteration ------------------------------------------")
+    grid = np.zeros((64, 64))
+    grid[0, :] = 1.0  # hot top edge
+    result = jacobi_solve(grid, max_iterations=2000, tolerance=1e-6)
+    print(
+        f"converged={result.converged} after {result.iterations} sweeps; "
+        f"final residual {result.residuals[-1]:.2e}"
+    )
+    print(
+        "each sweep = one 'sweep' parallel section (neighbour exchange) "
+        "+ one residual reduction\n"
+    )
+
+    print("-- Conjugate Gradient ----------------------------------------")
+    a = make_sparse_spd_matrix(400, avg_nnz=10)
+    nnz = a.row_nnz()
+    print(
+        f"sparse SPD matrix: {a.nnz} non-zeros; per-row nnz ranges "
+        f"{nnz.min()}..{nnz.max()} (mean {nnz.mean():.1f}) — the variation "
+        "that defeats MHETA's row-count scaling"
+    )
+    b = np.ones(400)
+    result = cg_solve(a, b, max_iterations=200, tolerance=1e-10)
+    residual = np.linalg.norm(a.matvec(result.x) - b)
+    print(
+        f"CG converged={result.converged} in {result.iterations} "
+        f"iterations; |Ax-b| = {residual:.2e}\n"
+    )
+
+    print("-- Lanczos ---------------------------------------------------")
+    m = make_spd_dense(96)
+    result = lanczos_tridiagonalize(m, iterations=20)
+    ritz = result.ritz_values()
+    true = np.linalg.eigvalsh(m)
+    print(
+        f"20 Lanczos steps: extreme eigenvalue estimate {ritz[-1]:.4f} "
+        f"(true {true[-1]:.4f}); each step = one out-of-core mat-vec + "
+        "orthogonalisation reductions\n"
+    )
+
+    print("-- RNA wavefront dynamic program -----------------------------")
+    seq = random_sequence(64)
+    result = rna_fold(seq)
+    print(f"sequence: {seq}")
+    print(
+        f"optimal structure pairs {result.best_pairs} bases; the DP table "
+        "fills along anti-diagonal wavefronts — the pipelined tiles of "
+        "the RNA benchmark\n"
+    )
+
+    print("-- Multigrid V-cycles ----------------------------------------")
+    x = np.linspace(0, 1, 257)
+    f = np.sin(np.pi * x) * np.pi**2
+    result = multigrid_solve(f, cycles=25, tolerance=1e-9)
+    err = np.abs(result.solution - np.sin(np.pi * x)).max()
+    print(
+        f"{result.cycles} V-cycles; residual {result.residual_norms[-1]:.2e}, "
+        f"solution error {err:.2e} — each cycle is the section ladder the "
+        "Multigrid structural model describes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Classic setuptools entry point.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments whose setuptools predates PEP 660 editable wheels
+(`pip install -e . --no-build-isolation` or `python setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

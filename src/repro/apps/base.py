@@ -1,0 +1,87 @@
+"""Application base class and configuration."""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ProgramStructureError
+from repro.program.structure import ProgramStructure
+
+__all__ = ["AppConfig", "Application"]
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """Problem size and iteration count for one application instance.
+
+    ``n_rows``/``cols`` describe the primary distributed array;
+    ``iterations`` follows the paper's Section 5.1 choices.  ``extra``
+    carries application-specific parameters (tiles, non-zeros per row,
+    multigrid levels, ...).
+    """
+
+    n_rows: int
+    cols: int
+    iterations: int
+
+    def scaled(self, scale: float) -> "AppConfig":
+        """Shrink (or grow) the problem while keeping its shape: both
+        dimensions scale by ``sqrt(scale)`` so the dataset scales by
+        ``scale``."""
+        if scale <= 0:
+            raise ProgramStructureError("scale must be positive")
+        factor = math.sqrt(scale)
+        return replace(
+            self,
+            n_rows=max(int(self.n_rows * factor), 8),
+            cols=max(int(self.cols * factor), 8),
+        )
+
+
+class Application(abc.ABC):
+    """One benchmark application: a named program-structure factory.
+
+    Subclasses define the paper-scale configuration (``paper()``) and how
+    the configuration maps to a :class:`ProgramStructure`.  The structure
+    is built lazily and cached; ``prefetching()`` returns a variant with
+    the unrolled prefetch loop enabled.
+    """
+
+    #: Paper name, e.g. "jacobi".
+    name: str = ""
+
+    def __init__(self, config: AppConfig) -> None:
+        self.config = config
+        self._structure: ProgramStructure | None = None
+
+    @classmethod
+    @abc.abstractmethod
+    def paper(cls, scale: float = 1.0) -> "Application":
+        """The paper's evaluation configuration, optionally scaled."""
+
+    @abc.abstractmethod
+    def _build(self) -> ProgramStructure:
+        """Construct the program structure for ``self.config``."""
+
+    @property
+    def structure(self) -> ProgramStructure:
+        if self._structure is None:
+            self._structure = self._build()
+        return self._structure
+
+    def prefetching(self) -> ProgramStructure:
+        """The same program with one-block-ahead prefetching enabled."""
+        return self.structure.with_prefetch(True)
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.structure.dataset_bytes
+
+    def __repr__(self) -> str:
+        c = self.config
+        return (
+            f"{type(self).__name__}(n_rows={c.n_rows}, cols={c.cols}, "
+            f"iterations={c.iterations})"
+        )

@@ -1,0 +1,120 @@
+"""NAS-style Conjugate Gradient (the paper's worst-case application).
+
+A large sparse symmetric matrix ``A`` (read-only, distributed by rows,
+stored CSR-style at 12 bytes per non-zero) is multiplied against a
+replicated vector each iteration; two dot-product reductions and the
+vector updates follow.
+
+CG is where MHETA's limitations show (paper Sections 5.2.2 and 5.4):
+the number of non-zeros per row varies, so computation does *not* scale
+with row count — "there is not a simple correlation between number of
+rows and number of elements per row, resulting in slight load imbalances
+in CG that our model did not predict."  The ground-truth per-row weights
+here are a smooth, spatially correlated random field (seeded, so every
+run sees the same matrix), giving contiguous row blocks a few percent of
+systematic imbalance, exactly the failure mode the paper describes.
+
+The paper runs 10 iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppConfig, Application
+from repro.program.builder import ProgramBuilder
+from repro.program.structure import ProgramStructure
+from repro.util.rng import stream
+from repro.util.units import DOUBLE
+
+__all__ = ["ConjugateGradientApp", "sparse_row_weights"]
+
+#: Average stored non-zeros per matrix row.
+NNZ_PER_ROW = 512
+#: Bytes per stored non-zero (double value + 4-byte column index).
+BYTES_PER_NNZ = 12
+#: Ground-truth cost per non-zero: multiply-add plus the irregular
+#: column-index gather.
+WORK_PER_NNZ = 100e-9
+#: Log-std of the per-row weight field.
+WEIGHT_SIGMA = 0.10
+#: Correlation length of the weight field, as a fraction of the rows.
+WEIGHT_CORRELATION = 1.0 / 32.0
+
+
+def sparse_row_weights(
+    n_rows: int, sigma: float = WEIGHT_SIGMA, correlation: float = WEIGHT_CORRELATION
+) -> np.ndarray:
+    """Deterministic smooth per-row non-zero weights.
+
+    White noise smoothed with a moving average of window
+    ``correlation * n_rows`` and exponentiated: nearby rows have similar
+    density (matrices from meshes and graphs cluster their structure),
+    so contiguous GEN_BLOCK blocks acquire systematic weight imbalance
+    that row-count scaling cannot see.
+    """
+    rng = stream("cg-row-weights", n_rows)
+    window = max(int(n_rows * correlation), 1)
+    noise = rng.normal(0.0, 1.0, n_rows + window)
+    kernel = np.ones(window) / window
+    smooth = np.convolve(noise, kernel, mode="valid")[:n_rows]
+    std = smooth.std()
+    if std > 0:
+        smooth = smooth / std
+    return np.exp(sigma * smooth)
+
+
+class ConjugateGradientApp(Application):
+    """NAS CG structural model."""
+
+    name = "cg"
+
+    @classmethod
+    def paper(cls, scale: float = 1.0) -> "ConjugateGradientApp":
+        # 65536 rows x 512 nnz x 12 B = 384 MiB of matrix: in core for
+        # unrestricted nodes (48 MiB blocks), out of core for small ones.
+        cfg = AppConfig(n_rows=65536, cols=NNZ_PER_ROW, iterations=10)
+        if scale != 1.0:
+            # The sparse matrix scales its row count only (nnz/row is a
+            # property of the discretisation, not the problem size).
+            cfg = AppConfig(
+                n_rows=max(int(cfg.n_rows * scale), 64),
+                cols=NNZ_PER_ROW,
+                iterations=cfg.iterations,
+            )
+        return cls(cfg)
+
+    def _build(self) -> ProgramStructure:
+        cfg = self.config
+        n = cfg.n_rows
+        weights = sparse_row_weights(n)
+        gather_bytes = n * DOUBLE / 8  # one node's vector contribution
+        return (
+            ProgramBuilder("cg", n_rows=n, iterations=cfg.iterations)
+            .distributed(
+                "A",
+                cols=cfg.cols,
+                access="read-only",
+                element_size=BYTES_PER_NNZ,
+            )
+            .distributed("q", cols=1, access="read-write")
+            .distributed("r", cols=1, access="read-write")
+            .distributed("x", cols=1, access="read-write")
+            .replicated("p_full", elements=n)
+            .section("matvec")
+            .stage(
+                "Ap",
+                reads=["A", "p_full"],
+                writes=["q"],
+                work_per_row=cfg.cols * WORK_PER_NNZ,
+            )
+            .allgather(message_bytes=gather_bytes)
+            .section("dots")
+            .stage("rho", reads=["q", "r"], work_per_row=20e-9)
+            .reduction(message_bytes=2 * DOUBLE)
+            .section("update")
+            .stage("axpy", reads=["q"], writes=["x", "r"], work_per_row=30e-9)
+            .reduction(message_bytes=DOUBLE)
+            .weights(weights)
+            .build()
+        )

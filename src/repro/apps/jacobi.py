@@ -1,0 +1,63 @@
+"""Jacobi iteration (paper Figure 1's running example).
+
+One read-write N x N grid distributed by rows.  Each iteration sweeps
+the grid (reading the previous values, writing the new ones and a
+per-row residual contribution), exchanges boundary rows with the
+neighbouring nodes, and closes with a global reduction of the residual.
+
+Per the paper, Jacobi is the read-write out-of-core case: "Any time the
+node reads data from disk, there is a corresponding write to disk ...
+such as in our Jacobi application."  The paper runs 100 iterations.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, Application
+from repro.program.builder import ProgramBuilder
+from repro.program.structure import ProgramStructure
+from repro.util.units import DOUBLE
+
+__all__ = ["JacobiApp"]
+
+#: Ground-truth cost of updating one grid element: a five-point stencil
+#: (4 adds, 1 multiply) plus the residual accumulation, on a ~100 MFLOP/s
+#: effective 2005 CPU.
+WORK_PER_ELEMENT = 60e-9
+
+#: The residual pass reads the per-row partial sums (tiny).
+RESIDUAL_WORK_PER_ROW = 40e-9
+
+
+class JacobiApp(Application):
+    """Jacobi iteration structural model."""
+
+    name = "jacobi"
+
+    @classmethod
+    def paper(cls, scale: float = 1.0) -> "JacobiApp":
+        # 8192 x 8192 doubles = 512 MiB: in core for unrestricted nodes
+        # (64 MiB blocks), out of core for memory-restricted ones.
+        return cls(AppConfig(n_rows=8192, cols=8192, iterations=100).scaled(scale))
+
+    def _build(self) -> ProgramStructure:
+        cfg = self.config
+        boundary_bytes = cfg.cols * DOUBLE  # one ghost row per direction
+        return (
+            ProgramBuilder("jacobi", n_rows=cfg.n_rows, iterations=cfg.iterations)
+            .distributed("grid", cols=cfg.cols, access="read-write")
+            .distributed("resid", cols=1, access="read-write")
+            .section("sweep")
+            .stage(
+                "update",
+                reads=["grid"],
+                writes=["grid", "resid"],
+                work_per_row=cfg.cols * WORK_PER_ELEMENT,
+            )
+            .nearest_neighbor(
+                message_bytes=boundary_bytes, source_variable="grid"
+            )
+            .section("residual")
+            .stage("norm", reads=["resid"], work_per_row=RESIDUAL_WORK_PER_ROW)
+            .reduction(message_bytes=DOUBLE)
+            .build()
+        )

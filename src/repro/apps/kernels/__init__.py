@@ -1,0 +1,34 @@
+"""Real numeric kernels for the benchmark applications.
+
+These are working NumPy implementations of the numerics the structural
+models describe — Jacobi relaxation, sparse CG, Lanczos
+tridiagonalisation, a wavefront RNA dynamic program, and a multigrid
+V-cycle — at example scale.  They exist so the examples demonstrate real
+computations and so the tests can check the structural models' iteration
+patterns (communication per iteration, convergence behaviour) against
+genuine algorithms, not just against themselves.
+"""
+
+from repro.apps.kernels.jacobi_kernel import jacobi_solve, JacobiResult
+from repro.apps.kernels.cg_kernel import (
+    cg_solve,
+    CgResult,
+    make_sparse_spd_matrix,
+)
+from repro.apps.kernels.lanczos_kernel import lanczos_tridiagonalize, LanczosResult
+from repro.apps.kernels.rna_kernel import rna_fold, RnaResult
+from repro.apps.kernels.multigrid_kernel import multigrid_solve, MultigridResult
+
+__all__ = [
+    "jacobi_solve",
+    "JacobiResult",
+    "cg_solve",
+    "CgResult",
+    "make_sparse_spd_matrix",
+    "lanczos_tridiagonalize",
+    "LanczosResult",
+    "rna_fold",
+    "RnaResult",
+    "multigrid_solve",
+    "MultigridResult",
+]

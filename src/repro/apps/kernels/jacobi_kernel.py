@@ -1,0 +1,58 @@
+"""Jacobi relaxation for the 2-D Laplace problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["JacobiResult", "jacobi_solve"]
+
+
+@dataclass(frozen=True)
+class JacobiResult:
+    """Outcome of a Jacobi run."""
+
+    grid: np.ndarray
+    iterations: int
+    residuals: List[float]
+    converged: bool
+
+
+def jacobi_solve(
+    grid: np.ndarray,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    out: Optional[np.ndarray] = None,
+) -> JacobiResult:
+    """Relax the interior of ``grid`` towards the discrete Laplace
+    solution with fixed boundary values.
+
+    Each iteration replaces every interior point with the average of its
+    four neighbours (vectorised five-point stencil — no Python-level
+    loops over elements) and records the max-norm change as the
+    residual, the same reduce-per-iteration pattern the structural model
+    describes.
+    """
+    grid = np.array(grid, dtype=float, copy=True)
+    if grid.ndim != 2 or min(grid.shape) < 3:
+        raise ValueError("grid must be 2-D with at least 3 points per side")
+    new = np.empty_like(grid) if out is None else out
+    new[:] = grid
+    residuals: List[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        residual = float(np.abs(new[1:-1, 1:-1] - grid[1:-1, 1:-1]).max())
+        residuals.append(residual)
+        grid, new = new, grid
+        if residual < tolerance:
+            converged = True
+            break
+    return JacobiResult(
+        grid=grid, iterations=iterations, residuals=residuals, converged=converged
+    )

@@ -1,0 +1,97 @@
+"""Multigrid V-cycle for the 1-D Poisson problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["MultigridResult", "multigrid_solve"]
+
+
+@dataclass(frozen=True)
+class MultigridResult:
+    """Outcome of a multigrid solve."""
+
+    solution: np.ndarray
+    residual_norms: List[float]
+    cycles: int
+    converged: bool
+
+
+def _residual(u: np.ndarray, f: np.ndarray, h: float) -> np.ndarray:
+    r = np.zeros_like(u)
+    r[1:-1] = f[1:-1] - (2 * u[1:-1] - u[:-2] - u[2:]) / h**2
+    return r
+
+
+def _smooth(u: np.ndarray, f: np.ndarray, h: float, sweeps: int) -> np.ndarray:
+    """Weighted-Jacobi smoothing (vectorised)."""
+    omega = 2.0 / 3.0
+    for _ in range(sweeps):
+        new = u.copy()
+        new[1:-1] = 0.5 * (u[:-2] + u[2:] + h**2 * f[1:-1])
+        u = (1 - omega) * u + omega * new
+    return u
+
+
+def _restrict(fine: np.ndarray) -> np.ndarray:
+    """Full-weighting restriction to the coarse grid."""
+    coarse = fine[::2].copy()
+    coarse[1:-1] = 0.25 * (fine[1:-2:2] + 2 * fine[2:-1:2] + fine[3::2])
+    return coarse
+
+
+def _prolong(coarse: np.ndarray) -> np.ndarray:
+    """Linear interpolation to the fine grid."""
+    n = 2 * (len(coarse) - 1) + 1
+    fine = np.zeros(n)
+    fine[::2] = coarse
+    fine[1::2] = 0.5 * (coarse[:-1] + coarse[1:])
+    return fine
+
+
+def _vcycle(u, f, h, level, max_level, pre=2, post=2):
+    u = _smooth(u, f, h, pre)
+    if level < max_level and len(u) > 5:
+        r = _residual(u, f, h)
+        rc = _restrict(r)
+        ec = _vcycle(np.zeros_like(rc), rc, 2 * h, level + 1, max_level, pre, post)
+        u = u + _prolong(ec)[: len(u)]
+    else:
+        u = _smooth(u, f, h, 20)  # coarse "solve"
+    return _smooth(u, f, h, post)
+
+
+def multigrid_solve(
+    f: np.ndarray,
+    cycles: int = 20,
+    levels: int = 4,
+    tolerance: float = 1e-8,
+) -> MultigridResult:
+    """Solve ``-u'' = f`` on [0, 1] with zero boundaries by V-cycles.
+
+    ``f`` is sampled on ``2^k + 1`` points.  Each cycle mirrors the
+    structural model's section sequence: smooth/restrict down the
+    hierarchy, a coarse solve with a convergence reduction, prolong and
+    re-smooth on the way up.
+    """
+    n = len(f)
+    if n < 5 or ((n - 1) & (n - 2)) != 0:
+        raise ValueError("f must be sampled on 2^k + 1 points, k >= 2")
+    h = 1.0 / (n - 1)
+    u = np.zeros(n)
+    norms: List[float] = []
+    converged = False
+    done = 0
+    for done in range(1, cycles + 1):
+        u = _vcycle(u, f, h, level=0, max_level=levels - 1)
+        norm = float(np.linalg.norm(_residual(u, f, h)) * np.sqrt(h))
+        norms.append(norm)
+        if norm < tolerance:
+            converged = True
+            break
+    return MultigridResult(
+        solution=u, residual_norms=norms, cycles=done, converged=converged
+    )

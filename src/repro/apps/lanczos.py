@@ -1,0 +1,68 @@
+"""Lanczos iteration — the paper's full-scale application.
+
+Solves ``A x = b`` for a symmetric positive-definite dense N x N matrix
+via the Lanczos process: each iteration multiplies the (read-only,
+row-distributed, out-of-core candidate) matrix against the current
+Lanczos vector, then orthogonalises with dot-product reductions.  "For
+the Conjugate Gradient and Lanzcos applications, the array is read-only,
+and no writes are performed" (Section 4.2.1).  The paper runs 5
+iterations.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, Application
+from repro.program.builder import ProgramBuilder
+from repro.program.structure import ProgramStructure
+from repro.util.units import DOUBLE
+
+__all__ = ["LanczosApp"]
+
+#: Ground-truth cost per dense matrix element: multiply-add plus full
+#: re-orthogonalisation traffic, at 2005 streaming-from-memory rates.
+WORK_PER_ELEMENT = 100e-9
+
+#: Orthogonalisation work per row (axpys and dot contributions).
+ORTH_WORK_PER_ROW = 120e-9
+
+
+class LanczosApp(Application):
+    """Lanczos structural model."""
+
+    name = "lanczos"
+
+    @classmethod
+    def paper(cls, scale: float = 1.0) -> "LanczosApp":
+        # 9216 x 9216 doubles = 648 MiB: 81 MiB per node under Blk —
+        # just inside an unrestricted node's memory, far outside a
+        # restricted one's.
+        return cls(AppConfig(n_rows=9216, cols=9216, iterations=5).scaled(scale))
+
+    def _build(self) -> ProgramStructure:
+        cfg = self.config
+        n = cfg.n_rows
+        gather_bytes = n * DOUBLE / 8
+        return (
+            ProgramBuilder("lanczos", n_rows=n, iterations=cfg.iterations)
+            .distributed("A", cols=cfg.cols, access="read-only")
+            .distributed("w", cols=1, access="read-write")
+            .replicated("v_full", elements=n)
+            .replicated("v_prev", elements=n)
+            .section("matvec")
+            .stage(
+                "Av",
+                reads=["A", "v_full"],
+                writes=["w"],
+                work_per_row=cfg.cols * WORK_PER_ELEMENT,
+            )
+            .allgather(message_bytes=gather_bytes)
+            .section("orthogonalise")
+            .stage(
+                "orth",
+                reads=["w"],
+                writes=["w"],
+                work_per_row=ORTH_WORK_PER_ROW,
+            )
+            .reduction(message_bytes=3 * DOUBLE)
+            .build()
+        )

@@ -1,0 +1,121 @@
+"""Multigrid V-cycle (the paper's named future-work application).
+
+Section 6: "We are currently implementing more applications (including
+Multigrid) to further increase the types of applications to test MHETA
+with a wider range of relative communication, computation, and I/O
+costs."  We implement it: a V-cycle over ``levels`` grids, each coarser
+level holding 1/4 the data (half the rows and half the columns of the
+finer one), with a smooth + transfer pair of nearest-neighbour sections
+on the way down and up and a convergence reduction at the bottom of each
+cycle.
+
+Representation note: MHETA's one-dimensional distribution covers a
+single global row space, so coarse grids are expressed over the *same*
+``n_rows`` with ``cols / 4^level`` elements per row — byte- and
+work-equivalent to the halved grid, and distribution-consistent (a node
+owns the same region of the domain at every level, as real multigrid
+partitioning does).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, Application
+from repro.program.builder import ProgramBuilder
+from repro.program.structure import ProgramStructure
+from repro.util.units import DOUBLE
+
+__all__ = ["MultigridApp"]
+
+#: Smoother cost per grid element (five-point stencil sweep).
+WORK_PER_ELEMENT = 60e-9
+#: Restriction/prolongation cost per (fine-level) element.
+TRANSFER_WORK_PER_ELEMENT = 15e-9
+#: Number of grid levels in the V-cycle.
+LEVELS = 4
+
+
+class MultigridApp(Application):
+    """Multigrid V-cycle structural model."""
+
+    name = "multigrid"
+
+    def __init__(self, config: AppConfig, levels: int = LEVELS) -> None:
+        super().__init__(config)
+        self.levels = levels
+
+    @classmethod
+    def paper(cls, scale: float = 1.0) -> "MultigridApp":
+        # Finest grid 8192 x 8192 doubles = 512 MiB; the full hierarchy
+        # adds one third more.
+        return cls(AppConfig(n_rows=8192, cols=8192, iterations=20).scaled(scale))
+
+    def _build(self) -> ProgramStructure:
+        cfg = self.config
+        builder = ProgramBuilder(
+            "multigrid", n_rows=cfg.n_rows, iterations=cfg.iterations
+        )
+        level_cols = [
+            max(cfg.cols / (4**level), 1.0) for level in range(self.levels)
+        ]
+        for level, cols in enumerate(level_cols):
+            builder.distributed(
+                f"grid{level}", cols=cols, access="read-write"
+            )
+        # Downward leg: smooth, then restrict to the next coarser level.
+        for level in range(self.levels - 1):
+            cols = level_cols[level]
+            builder.section(f"smooth_down{level}")
+            builder.stage(
+                f"smooth{level}",
+                reads=[f"grid{level}"],
+                writes=[f"grid{level}"],
+                work_per_row=cols * WORK_PER_ELEMENT,
+            )
+            builder.nearest_neighbor(
+                message_bytes=cols * DOUBLE, source_variable=f"grid{level}"
+            )
+            builder.section(f"restrict{level}")
+            builder.stage(
+                f"inject{level}",
+                reads=[f"grid{level}"],
+                writes=[f"grid{level + 1}"],
+                work_per_row=cols * TRANSFER_WORK_PER_ELEMENT,
+            )
+            builder.nearest_neighbor(
+                message_bytes=level_cols[level + 1] * DOUBLE,
+                source_variable=f"grid{level + 1}",
+            )
+        # Coarsest solve: a few smoothing sweeps and the convergence check.
+        coarse = self.levels - 1
+        builder.section("coarse_solve")
+        builder.stage(
+            "coarse_smooth",
+            reads=[f"grid{coarse}"],
+            writes=[f"grid{coarse}"],
+            work_per_row=level_cols[coarse] * 4 * WORK_PER_ELEMENT,
+        )
+        builder.reduction(message_bytes=DOUBLE)
+        # Upward leg: prolong to the finer level and smooth it.
+        for level in range(self.levels - 2, -1, -1):
+            cols = level_cols[level]
+            builder.section(f"prolong{level}")
+            builder.stage(
+                f"interp{level}",
+                reads=[f"grid{level + 1}"],
+                writes=[f"grid{level}"],
+                work_per_row=cols * TRANSFER_WORK_PER_ELEMENT,
+            )
+            builder.nearest_neighbor(
+                message_bytes=cols * DOUBLE, source_variable=f"grid{level}"
+            )
+            builder.section(f"smooth_up{level}")
+            builder.stage(
+                f"resmooth{level}",
+                reads=[f"grid{level}"],
+                writes=[f"grid{level}"],
+                work_per_row=cols * WORK_PER_ELEMENT,
+            )
+            builder.nearest_neighbor(
+                message_bytes=cols * DOUBLE, source_variable=f"grid{level}"
+            )
+        return builder.build()

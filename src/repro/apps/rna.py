@@ -1,0 +1,59 @@
+"""RNA pseudoknot pipeline (the paper's pipelined benchmark).
+
+Based on the stochastic-grammar pseudoknot prediction of Cai, Malmberg
+and Wu [5]: a dynamic-programming table is filled in wavefront order, so
+node ``k`` can only process a column block (a *tile*) after receiving
+the boundary of that block from node ``k-1``.  The parallel section
+therefore contains many tiles with one pipelined message each — the
+structure Equation 4 models.  The paper runs 10 iterations (e.g. ten
+candidate sequences/grammar sweeps).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppConfig, Application
+from repro.program.builder import ProgramBuilder
+from repro.program.structure import ProgramStructure
+from repro.util.units import DOUBLE
+
+__all__ = ["RnaPipelineApp"]
+
+#: Ground-truth cost per DP cell: grammar-rule evaluation is much
+#: heavier than a stencil update.
+WORK_PER_CELL = 200e-9
+
+#: Column blocks per parallel section (tiles): one pipelined message
+#: each.
+TILES = 16
+
+
+class RnaPipelineApp(Application):
+    """Pipelined RNA-pseudoknot structural model."""
+
+    name = "rna"
+
+    @classmethod
+    def paper(cls, scale: float = 1.0) -> "RnaPipelineApp":
+        # 8192 rows x 6144 columns of doubles = 384 MiB of DP table.
+        return cls(AppConfig(n_rows=8192, cols=6144, iterations=10).scaled(scale))
+
+    def _build(self) -> ProgramStructure:
+        cfg = self.config
+        tiles = min(TILES, max(cfg.cols // 4, 1))
+        # The boundary a downstream node needs: the last owned row's
+        # entries for this tile's columns.
+        tile_message = (cfg.cols / tiles) * DOUBLE
+        return (
+            ProgramBuilder("rna", n_rows=cfg.n_rows, iterations=cfg.iterations)
+            .distributed("dp", cols=cfg.cols, access="read-write")
+            .replicated("sequence", elements=cfg.n_rows + cfg.cols)
+            .section("wavefront", tiles=tiles)
+            .stage(
+                "fill",
+                reads=["dp", "sequence"],
+                writes=["dp"],
+                work_per_row=cfg.cols * WORK_PER_CELL,
+            )
+            .pipeline(message_bytes=tile_message, source_variable="dp")
+            .build()
+        )

@@ -1,0 +1,328 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the experiment harness and the runtime system without writing
+any Python:
+
+* ``table1``      — print the Table-1 configurations;
+* ``sweep``       — actual-vs-predicted across the spectrum for one
+  application on one configuration;
+* ``predict``     — MHETA's per-node prediction report for one
+  distribution;
+* ``search``      — run one search algorithm with MHETA;
+* ``adaptive``    — the Section-6 adaptive runtime end to end;
+* ``accuracy``    — one Figure-9 panel;
+* ``timing``      — the evaluation-cost measurement;
+* ``spreads``     — the Section-5.3 best-vs-worst table;
+* ``ablation``    — the error-source ablation;
+* ``robustness``  — the non-dedicated-environment study.
+
+Every command takes ``--scale`` (default 0.1: seconds of wall time;
+``--scale 1.0`` is paper scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster import table1_configs
+from repro.apps import application_by_name
+from repro.distribution import balanced, block, in_core, in_core_balanced
+from repro.experiments import (
+    build_model,
+    dedicated_assumption_study,
+    distribution_spread,
+    error_ablation,
+    fig9_accuracy,
+    model_evaluation_timing,
+    run_spectrum,
+    table1,
+)
+from repro.runtime import AdaptiveRuntime
+from repro.search import (
+    GeneralizedBinarySearch,
+    GeneticSearch,
+    RandomSearch,
+    SimulatedAnnealingSearch,
+    SpectrumSweep,
+)
+from repro.sim import ClusterEmulator
+
+__all__ = ["main", "build_parser"]
+
+APPS = ("jacobi", "cg", "lanczos", "rna", "multigrid")
+CONFIGS = ("DC", "IO", "HY1", "HY2")
+ANCHORS = ("blk", "bal", "ic", "icbal")
+ALGORITHMS = ("gbs", "genetic", "annealing", "random", "sweep")
+
+
+def _cluster(name: str):
+    try:
+        return table1_configs()[name.upper()]
+    except KeyError:
+        raise SystemExit(f"unknown configuration {name!r}; choose from {CONFIGS}")
+
+
+def _program(app: str, scale: float, prefetch: bool = False):
+    application = application_by_name(app, scale)
+    return application.prefetching() if prefetch else application.structure
+
+
+def _anchor(name: str, cluster, program):
+    name = name.lower()
+    if name == "blk":
+        return block(cluster, program.n_rows)
+    if name == "bal":
+        return balanced(cluster, program.n_rows)
+    if name == "ic":
+        return in_core(cluster, program)
+    if name == "icbal":
+        return in_core_balanced(cluster, program)
+    raise SystemExit(f"unknown distribution {name!r}; choose from {ANCHORS}")
+
+
+def _add_common(parser: argparse.ArgumentParser, config: bool = True) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="problem-size scale (1.0 = paper scale; default 0.1)",
+    )
+    if config:
+        parser.add_argument(
+            "--config", default="HY1", help=f"configuration {CONFIGS}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MHETA (SC 2005) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table-1 configurations")
+
+    p = sub.add_parser("sweep", help="actual vs predicted over the spectrum")
+    p.add_argument("app", choices=APPS)
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--prefetch", action="store_true")
+    p.add_argument("--chart", action="store_true", help="ASCII chart too")
+    _add_common(p)
+
+    p = sub.add_parser("predict", help="MHETA prediction for one distribution")
+    p.add_argument("app", choices=APPS)
+    p.add_argument("--dist", default="blk", help=f"one of {ANCHORS}")
+    p.add_argument(
+        "--verify", action="store_true",
+        help="also run the emulator and report the error",
+    )
+    p.add_argument(
+        "--inputs", default=None,
+        help="load measurements from an internal MHETA file instead of "
+        "re-running the instrumented iteration",
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "instrument",
+        help="run the instrumented iteration and write the internal "
+        "MHETA file",
+    )
+    p.add_argument("app", choices=APPS)
+    p.add_argument("output", help="path for the internal MHETA file (JSON)")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "analyse", help="per-node time breakdown of an emulated run"
+    )
+    p.add_argument("app", choices=APPS)
+    p.add_argument("--dist", default="blk", help=f"one of {ANCHORS}")
+    _add_common(p)
+
+    p = sub.add_parser("search", help="distribution search driven by MHETA")
+    p.add_argument("app", choices=APPS)
+    p.add_argument("--algorithm", choices=ALGORITHMS, default="gbs")
+    p.add_argument("--budget", type=int, default=150)
+    _add_common(p)
+
+    p = sub.add_parser("adaptive", help="the Section-6 adaptive runtime")
+    p.add_argument("app", choices=APPS)
+    _add_common(p)
+
+    p = sub.add_parser("accuracy", help="one Figure-9 panel")
+    p.add_argument(
+        "--panel",
+        choices=("all", "jacobi-prefetch", "rna", "cg"),
+        default="all",
+    )
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--chart", action="store_true", help="ASCII chart too")
+    _add_common(p, config=False)
+
+    sub.add_parser("timing", help="model evaluation cost (paper: ~5.4 ms)")
+
+    p = sub.add_parser("spreads", help="best-vs-worst distribution spreads")
+    p.add_argument("--steps", type=int, default=2)
+    _add_common(p, config=False)
+
+    p = sub.add_parser("ablation", help="error-source ablation (CG on IO)")
+    p.add_argument("--steps", type=int, default=2)
+    _add_common(p, config=False)
+
+    p = sub.add_parser("robustness", help="non-dedicated environment study")
+    _add_common(p, config=False)
+
+    return parser
+
+
+def _cmd_sweep(args) -> str:
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale, args.prefetch)
+    run = run_spectrum(cluster, program, steps_per_leg=args.steps)
+    from repro.util.tables import render_table
+
+    rows = [
+        [p.label, p.actual_seconds, p.predicted_seconds, p.error_percent]
+        for p in run.points
+    ]
+    table = render_table(
+        ["distribution", "actual (s)", "predicted (s)", "error %"],
+        rows,
+        float_fmt=".3f",
+        title=(
+            f"{program.name} on {cluster.name}: mean error "
+            f"{run.mean_error_percent:.2f}%, spread {run.spread:.2f}x, "
+            f"best {run.best_actual.label!r}"
+        ),
+    )
+    if getattr(args, "chart", False):
+        return table + "\n\n" + run.chart()
+    return table
+
+
+def _cmd_instrument(args) -> str:
+    from repro.instrument import collect_inputs
+
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale)
+    inputs = collect_inputs(
+        cluster, program, block(cluster, program.n_rows)
+    )
+    inputs.save(args.output)
+    return (
+        f"wrote internal MHETA file for {program.name!r} "
+        f"({cluster.name}, Blk-instrumented) to {args.output}"
+    )
+
+
+def _cmd_analyse(args) -> str:
+    from repro.sim import ClusterEmulator, analyse_run
+    from repro.sim.trace import TraceCollector
+
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale)
+    distribution = _anchor(args.dist, cluster, program)
+    trace = TraceCollector()
+    result = ClusterEmulator(cluster, program).run(
+        distribution, observer=trace
+    )
+    return analyse_run(trace, result).describe()
+
+
+def _cmd_predict(args) -> str:
+    from repro.core import MhetaModel
+    from repro.instrument import MhetaInputs
+
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale)
+    if args.inputs:
+        model = MhetaModel(program, cluster, MhetaInputs.load(args.inputs))
+    else:
+        model = build_model(cluster, program)
+    distribution = _anchor(args.dist, cluster, program)
+    report = model.predict(distribution)
+    out = [report.describe()]
+    if args.verify:
+        actual = ClusterEmulator(cluster, program).run(distribution)
+        error = (
+            abs(report.total_seconds - actual.total_seconds)
+            / min(report.total_seconds, actual.total_seconds)
+            * 100.0
+        )
+        out.append(
+            f"actual: {actual.total_seconds:.3f}s -> error {error:.2f}%"
+        )
+    return "\n".join(out)
+
+
+def _cmd_search(args) -> str:
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale)
+    model = build_model(cluster, program)
+    factories = {
+        "gbs": lambda: GeneralizedBinarySearch(model, cluster),
+        "genetic": lambda: GeneticSearch(model),
+        "annealing": lambda: SimulatedAnnealingSearch(model),
+        "random": lambda: RandomSearch(model),
+        "sweep": lambda: SpectrumSweep(model, cluster),
+    }
+    result = factories[args.algorithm]().search(budget=args.budget)
+    blk = model.predict_seconds(block(cluster, program.n_rows))
+    return (
+        f"{result}\n"
+        f"Blk predicts {blk:.3f}s -> "
+        f"{(1 - result.predicted_seconds / blk) * 100:.1f}% improvement"
+    )
+
+
+def _cmd_adaptive(args) -> str:
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale)
+    return AdaptiveRuntime(cluster, program).run().describe()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(table1())
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
+    elif args.command == "predict":
+        print(_cmd_predict(args))
+    elif args.command == "instrument":
+        print(_cmd_instrument(args))
+    elif args.command == "analyse":
+        print(_cmd_analyse(args))
+    elif args.command == "search":
+        print(_cmd_search(args))
+    elif args.command == "adaptive":
+        print(_cmd_adaptive(args))
+    elif args.command == "accuracy":
+        bands = fig9_accuracy(
+            panel=args.panel, scale=args.scale, steps_per_leg=args.steps
+        )
+        print(bands.describe())
+        if args.chart:
+            print()
+            print(bands.chart())
+    elif args.command == "timing":
+        print(model_evaluation_timing().describe())
+    elif args.command == "spreads":
+        print(
+            distribution_spread(
+                steps_per_leg=args.steps, scale=args.scale
+            ).describe()
+        )
+    elif args.command == "ablation":
+        print(
+            error_ablation(steps_per_leg=args.steps, scale=args.scale).describe()
+        )
+    elif args.command == "robustness":
+        print(dedicated_assumption_study(scale=args.scale).describe())
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

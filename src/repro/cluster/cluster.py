@@ -1,0 +1,118 @@
+"""Whole-cluster specification (paper Figure 2)."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import NodeSpec
+from repro.exceptions import ConfigurationError
+from repro.util.units import bytes_to_human
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A heterogeneous cluster: an ordered set of nodes plus a network.
+
+    Node order matters: GEN_BLOCK distributions assign contiguous row
+    ranges to nodes in this order, nearest-neighbour exchanges pair
+    adjacent nodes, and pipelines flow from node 0 towards node n-1.
+    """
+
+    name: str
+    nodes: Tuple[NodeSpec, ...]
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 1:
+            raise ConfigurationError("a cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate node names in {self.name}")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[NodeSpec]:
+        return iter(self.nodes)
+
+    def __getitem__(self, i: int) -> NodeSpec:
+        return self.nodes[i]
+
+    # -- aggregate views (handy for distribution factories) ------------------
+
+    @property
+    def cpu_powers(self) -> np.ndarray:
+        """Relative CPU power per node, as a float array."""
+        return np.array([n.cpu_power for n in self.nodes], dtype=float)
+
+    @property
+    def memory_bytes(self) -> np.ndarray:
+        """Application memory per node, as an int array."""
+        return np.array([n.memory_bytes for n in self.nodes], dtype=np.int64)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return int(self.memory_bytes.sum())
+
+    @property
+    def is_cpu_homogeneous(self) -> bool:
+        """True when all nodes have equal relative CPU power (the paper's
+        precondition for collapsing the spectrum to Blk..I-C)."""
+        powers = self.cpu_powers
+        return bool(np.allclose(powers, powers[0]))
+
+    def memory_pressure(self, dataset_bytes: int) -> float:
+        """Ratio of dataset size to aggregate application memory.  Above
+        roughly 1.0 the dataset cannot be fully in core for *any*
+        distribution."""
+        return dataset_bytes / self.total_memory_bytes
+
+    # -- construction helpers --------------------------------------------------
+
+    def with_nodes(self, nodes: Sequence[NodeSpec], name: str = "") -> "ClusterSpec":
+        """Return a copy with a replaced node list (and optionally name)."""
+        return dataclasses.replace(
+            self, nodes=tuple(nodes), name=name or self.name
+        )
+
+    def replace_node(self, index: int, node: NodeSpec) -> "ClusterSpec":
+        """Return a copy with node ``index`` replaced."""
+        nodes = list(self.nodes)
+        nodes[index] = node
+        return self.with_nodes(nodes)
+
+    # -- reporting ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the cluster."""
+        lines = [f"cluster {self.name!r}: {self.n_nodes} nodes"]
+        for i, n in enumerate(self.nodes):
+            lines.append(
+                f"  [{i}] {n.name}: power={n.cpu_power:.2f} "
+                f"mem={bytes_to_human(n.memory_bytes)} "
+                f"disk(r)={n.disk_read_bw / 1e6:.0f}MB/s "
+                f"seek={n.disk_read_seek * 1e3:.1f}ms"
+            )
+        net = self.network
+        lines.append(
+            f"  net: os={net.send_overhead * 1e6:.0f}us "
+            f"or={net.recv_overhead * 1e6:.0f}us "
+            f"bw={1.0 / net.latency_per_byte / 1e6:.0f}MB/s"
+            if net.latency_per_byte > 0
+            else "  net: infinite bandwidth"
+        )
+        return "\n".join(lines)

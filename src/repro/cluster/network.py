@@ -1,0 +1,65 @@
+"""Interconnect description.
+
+The paper measures three network microbenchmark quantities (Section 4.1):
+send overhead, receive overhead, and per-byte send latency between nodes,
+and assumes they stay constant in the dedicated environment.  We add a
+fixed wire latency for realism; setting it to zero recovers the paper's
+two-parameter-per-direction model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["NetworkSpec"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Uniform cluster interconnect.
+
+    Parameters
+    ----------
+    send_overhead:
+        ``os`` — fixed CPU time spent preparing and copying a message into
+        a system buffer on the sender (seconds).  Excludes any disk read
+        needed to materialise the message; MHETA adds that separately.
+    recv_overhead:
+        ``or`` — fixed CPU time to process an incoming message (seconds).
+    latency_per_byte:
+        Transfer time per payload byte (seconds/byte); the reciprocal of
+        effective bandwidth.
+    fixed_latency:
+        Wire/stack latency added once per message (seconds).
+    """
+
+    send_overhead: float = 40e-6
+    recv_overhead: float = 40e-6
+    latency_per_byte: float = 1e-8  # 100 MB/s effective bandwidth
+    fixed_latency: float = 60e-6
+
+    def __post_init__(self) -> None:
+        for field in (
+            "send_overhead",
+            "recv_overhead",
+            "latency_per_byte",
+            "fixed_latency",
+        ):
+            if getattr(self, field) < 0:
+                raise ConfigurationError(f"{field} must be non-negative")
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """In-flight transfer time ``X(m)`` for an ``nbytes`` message.
+
+        This covers the interval between the sender finishing its send
+        overhead and the message being available at the receiver; the
+        receiver still pays ``recv_overhead`` to consume it.
+        """
+        return self.fixed_latency + nbytes * self.latency_per_byte
+
+    def with_(self, **changes) -> "NetworkSpec":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,120 @@
+"""Per-node hardware description.
+
+The paper emulates heterogeneity on identical physical machines by
+(1) slowing a CPU down with extra work, (2) capping the memory an
+application may use for its in-core local arrays (ICLAs), and
+(3) artificially scaling I/O speed.  :class:`NodeSpec` captures the
+resulting *effective* node: relative CPU power, application memory, and
+local-disk seek/bandwidth figures.
+
+``os_cache_bytes`` models the *physical* page cache of the underlying
+machine.  It is deliberately separate from ``memory_bytes``: in the
+paper's emulation the application memory is capped artificially while the
+operating system still caches file pages in the machine's full RAM, which
+is why the authors observed "better than expected I/O performance" for
+nearly-in-core distributions (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one cluster node.
+
+    Parameters
+    ----------
+    name:
+        Human-readable node label (``"node3"``).
+    cpu_power:
+        Relative CPU power.  A stage that takes ``t`` seconds of work at
+        power 1.0 takes ``t / cpu_power`` seconds on this node.
+    memory_bytes:
+        Application memory available for local arrays.  Determines ICLA
+        sizes and whether a local array is in core.
+    disk_read_seek, disk_write_seek:
+        Fixed per-access overheads ``rs`` / ``ws`` (seconds), independent
+        of the variable being accessed (paper Section 4.1.1).
+    disk_read_bw, disk_write_bw:
+        Sustained transfer bandwidth in bytes/second.  Per-element
+        latencies ``r(v)`` / ``w(v)`` follow from the element size.
+    os_cache_bytes:
+        Physical page-cache capacity of the underlying machine (not
+        scaled by the emulated memory cap).  The default mimics the
+        paper's Solaris 2.8 servers, whose segmap file cache is limited
+        to roughly 12%% of physical RAM (~32 MiB on a 256 MiB server).
+    """
+
+    name: str
+    cpu_power: float = 1.0
+    memory_bytes: int = 96 * 1024 * 1024
+    disk_read_seek: float = 8e-3
+    disk_write_seek: float = 10e-3
+    disk_read_bw: float = 50e6
+    disk_write_bw: float = 40e6
+    os_cache_bytes: int = 32 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.cpu_power <= 0:
+            raise ConfigurationError(
+                f"{self.name}: cpu_power must be positive, got {self.cpu_power}"
+            )
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(
+                f"{self.name}: memory_bytes must be positive, got {self.memory_bytes}"
+            )
+        for field in ("disk_read_seek", "disk_write_seek"):
+            if getattr(self, field) < 0:
+                raise ConfigurationError(
+                    f"{self.name}: {field} must be non-negative"
+                )
+        for field in ("disk_read_bw", "disk_write_bw"):
+            if getattr(self, field) <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: {field} must be positive"
+                )
+        if self.os_cache_bytes < 0:
+            raise ConfigurationError(
+                f"{self.name}: os_cache_bytes must be non-negative"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    def read_seconds(self, nbytes: float) -> float:
+        """Seconds for one synchronous disk read of ``nbytes`` (seek + xfer)."""
+        return self.disk_read_seek + nbytes / self.disk_read_bw
+
+    def write_seconds(self, nbytes: float) -> float:
+        """Seconds for one synchronous disk write of ``nbytes`` (seek + xfer)."""
+        return self.disk_write_seek + nbytes / self.disk_write_bw
+
+    def compute_seconds(self, work: float) -> float:
+        """Seconds to execute ``work`` seconds-at-power-1.0 of computation."""
+        return work / self.cpu_power
+
+    # -- convenient copies ---------------------------------------------------
+
+    def with_(self, **changes) -> "NodeSpec":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def scaled_io(self, factor: float) -> "NodeSpec":
+        """Return a copy whose disk is ``factor``x slower (factor > 1) or
+        faster (factor < 1); both seek and bandwidth are scaled, matching
+        the paper's 'artificially increasing or decreasing the ICLA sizes
+        read or written' emulation of differing I/O speeds."""
+        if factor <= 0:
+            raise ConfigurationError("I/O scale factor must be positive")
+        return self.with_(
+            disk_read_seek=self.disk_read_seek * factor,
+            disk_write_seek=self.disk_write_seek * factor,
+            disk_read_bw=self.disk_read_bw / factor,
+            disk_write_bw=self.disk_write_bw / factor,
+        )

@@ -1,0 +1,242 @@
+"""Analytical communication timelines (Equations 3-5, generalised).
+
+The paper derives, for two nodes, the blocked time ``w(i, m)`` of a
+nearest-neighbour exchange (Equation 3) and the per-tile pipeline wait
+``w(i, m, t)`` (Equation 4), combining them with send/receive overheads
+into the section communication cost (Equation 5); reductions and the
+n-node generalisations live in the dissertation [25].
+
+:class:`SectionTimeline` evaluates those generalisations directly as
+max-plus recurrences over per-node timestamps — the exact analytical
+mirror of the runtime's message schedule (sends posted in neighbour
+order, binomial reduce + broadcast, ring allgather).  For two nodes the
+recurrences collapse to the printed equations; the unit tests verify
+both that collapse and exact agreement with the discrete-event emulator
+when all perturbations are disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.instrument.microbench import Microbenchmarks
+from repro.program.sections import CommPattern
+
+__all__ = ["SectionTimeline", "nearest_neighbor_wait", "pipeline_waits"]
+
+
+def nearest_neighbor_wait(
+    own_ready: float, sender_done: float, transfer: float
+) -> float:
+    """Paper Equation 3 for one message: the receiver blocks only if it
+    is ready before the message arrives.
+
+    ``own_ready`` — when the receiver finished its stages and its own
+    send; ``sender_done`` — when the sender finished posting the message
+    (stages + its send overhead); ``transfer`` — in-flight time ``X(m)``.
+    """
+    return max(0.0, sender_done + transfer - own_ready)
+
+
+def pipeline_waits(
+    sender_tile_seconds: Sequence[float],
+    receiver_tile_seconds: Sequence[float],
+    send_overhead: float,
+    recv_overhead: float,
+    transfer: float,
+) -> List[float]:
+    """Paper Equation 4: per-tile blocked times of the downstream node in
+    a two-node pipeline.  The upstream node never blocks.
+
+    Tile ``t``'s message is en route once the sender finishes tiles
+    ``1..t`` (each costing its stage time plus the send overhead); the
+    receiver is ready once it has waited for, received, and processed
+    tiles ``1..t-1``.
+    """
+    if len(sender_tile_seconds) != len(receiver_tile_seconds):
+        raise ModelError("pipeline tile counts differ between nodes")
+    waits: List[float] = []
+    sender_clock = 0.0
+    receiver_clock = 0.0
+    for t, (ts_send, ts_recv) in enumerate(
+        zip(sender_tile_seconds, receiver_tile_seconds)
+    ):
+        sender_clock += ts_send + send_overhead
+        arrival = sender_clock + transfer
+        wait = max(0.0, arrival - receiver_clock)
+        waits.append(wait)
+        receiver_clock += wait + recv_overhead + ts_recv
+    return waits
+
+
+class SectionTimeline:
+    """Advance per-node clocks across one parallel section.
+
+    All methods take ``start`` (per-node clock at section entry) and the
+    per-node, per-tile stage times, and return the per-node clock at
+    section exit (after the closing communication).
+    """
+
+    def __init__(self, micro: Microbenchmarks, n_nodes: int) -> None:
+        self._micro = micro
+        self.n_nodes = n_nodes
+
+    # -- helpers ------------------------------------------------------------
+
+    def _transfer(self, nbytes: float) -> float:
+        return self._micro.transfer_seconds(nbytes)
+
+    # -- patterns ------------------------------------------------------------
+
+    def advance(
+        self,
+        pattern: CommPattern,
+        start: Sequence[float],
+        tile_seconds: Sequence[Sequence[float]],
+        message_bytes: float,
+        source_read_seconds: Sequence[float],
+    ) -> List[float]:
+        """Dispatch on the communication pattern.
+
+        ``tile_seconds[n][t]`` — node ``n``'s computation+I/O time for
+        tile ``t``; ``source_read_seconds[n]`` — the disk read required
+        to materialise one outgoing message on node ``n`` (0 when the
+        source array is in core or absent).
+        """
+        if len(start) != self.n_nodes or len(tile_seconds) != self.n_nodes:
+            raise ModelError("timeline inputs do not match node count")
+        if self.n_nodes == 1 or pattern in (CommPattern.NONE,):
+            return [
+                s + sum(ts) for s, ts in zip(start, tile_seconds)
+            ]
+        if pattern is CommPattern.PIPELINE:
+            return self._pipeline(start, tile_seconds, message_bytes)
+        stage_end = [s + sum(ts) for s, ts in zip(start, tile_seconds)]
+        if pattern is CommPattern.NEAREST_NEIGHBOR:
+            return self._nearest_neighbor(
+                stage_end, message_bytes, source_read_seconds
+            )
+        if pattern is CommPattern.REDUCTION:
+            return self._reduce_broadcast(stage_end, message_bytes)
+        if pattern is CommPattern.ALLGATHER:
+            return self._allgather(stage_end, message_bytes)
+        raise ModelError(f"unknown communication pattern: {pattern}")
+
+    def _nearest_neighbor(
+        self,
+        stage_end: Sequence[float],
+        nbytes: float,
+        source_read: Sequence[float],
+    ) -> List[float]:
+        """Boundary exchange: every node posts its sends (left then
+        right), then receives (left then right).  Equation 3 semantics,
+        exact mirror of the runtime's message schedule."""
+        P = self.n_nodes
+        os_ = self._micro.send_overhead
+        or_ = self._micro.recv_overhead
+        x = self._transfer(nbytes)
+        deliver: Dict[Tuple[int, int], float] = {}
+        ready = [0.0] * P
+        for n in range(P):
+            t = stage_end[n]
+            for nb in (n - 1, n + 1):
+                if 0 <= nb < P:
+                    t += source_read[n] + os_
+                    deliver[(n, nb)] = t + x
+            ready[n] = t
+        end = list(ready)
+        for n in range(P):
+            t = ready[n]
+            for nb in (n - 1, n + 1):
+                if 0 <= nb < P:
+                    t = max(t, deliver[(nb, n)]) + or_
+            end[n] = t
+        return end
+
+    def _pipeline(
+        self,
+        start: Sequence[float],
+        tile_seconds: Sequence[Sequence[float]],
+        nbytes: float,
+    ) -> List[float]:
+        """n-node pipeline: Equation 4's recurrence per tile and node."""
+        P = self.n_nodes
+        os_ = self._micro.send_overhead
+        or_ = self._micro.recv_overhead
+        x = self._transfer(nbytes)
+        tiles = len(tile_seconds[0])
+        for ts in tile_seconds:
+            if len(ts) != tiles:
+                raise ModelError("nodes disagree on tile count")
+        now = list(start)
+        deliver: Dict[Tuple[int, int], float] = {}
+        for t in range(tiles):
+            for n in range(P):
+                if n > 0:
+                    now[n] = max(now[n], deliver[(n - 1, t)]) + or_
+                now[n] += tile_seconds[n][t]
+                if n < P - 1:
+                    now[n] += os_
+                    deliver[(n, t)] = now[n] + x
+        return now
+
+    def _reduce_broadcast(
+        self, stage_end: Sequence[float], nbytes: float
+    ) -> List[float]:
+        """Binomial-tree reduce to node 0 followed by binomial broadcast
+        (the dissertation's reduction, reconstructed)."""
+        P = self.n_nodes
+        os_ = self._micro.send_overhead
+        or_ = self._micro.recv_overhead
+        x = self._transfer(nbytes)
+        now = list(stage_end)
+        deliver: Dict[Tuple[int, int], float] = {}
+        exited = [False] * P
+        mask = 1
+        while mask < P:
+            # Senders at this level post and exit the reduce phase.
+            for n in range(P):
+                if not exited[n] and (n & mask):
+                    now[n] += os_
+                    deliver[(n, mask)] = now[n] + x
+                    exited[n] = True
+            for n in range(P):
+                if not exited[n] and not (n & mask):
+                    partner = n | mask
+                    if partner < P:
+                        now[n] = max(now[n], deliver[(partner, mask)]) + or_
+            mask <<= 1
+        pot = 1
+        while pot < P:
+            pot <<= 1
+        mask = pot >> 1
+        while mask > 0:
+            for n in range(P):
+                if n % (2 * mask) == 0 and n + mask < P:
+                    now[n] += os_
+                    deliver[(n, -mask)] = now[n] + x
+            for n in range(P):
+                if n % (2 * mask) == mask:
+                    now[n] = max(now[n], deliver[(n - mask, -mask)]) + or_
+            mask >>= 1
+        return now
+
+    def _allgather(
+        self, stage_end: Sequence[float], nbytes: float
+    ) -> List[float]:
+        """Ring allgather: P-1 lockstep shift steps."""
+        P = self.n_nodes
+        os_ = self._micro.send_overhead
+        or_ = self._micro.recv_overhead
+        x = self._transfer(nbytes)
+        now = list(stage_end)
+        for step in range(P - 1):
+            deliver = [0.0] * P
+            for n in range(P):
+                now[n] += os_
+                deliver[n] = now[n] + x
+            for n in range(P):
+                left = (n - 1) % P
+                now[n] = max(now[n], deliver[left]) + or_
+        return now

@@ -1,0 +1,101 @@
+"""The paper's numbered equations, under their paper names.
+
+This module is a thin, well-documented facade so readers can map code to
+the paper directly:
+
+* :func:`equation_1` — synchronous out-of-core I/O time ``TIO(v)``;
+* :func:`equation_2` — prefetched out-of-core I/O time (reconstructed;
+  see DESIGN.md for the algebra, which reduces to Equation 1 at
+  ``To = 0``);
+* :func:`equation_3` — nearest-neighbour blocked time ``w(i, m)``;
+* :func:`equation_4` — per-tile pipeline blocked times ``w(i, m, t)``;
+* :func:`equation_5` — section communication cost ``Tx`` for a
+  nearest-neighbour message.
+
+The production model (:class:`~repro.core.MhetaModel`) evaluates the
+n-node generalisations in :mod:`repro.core.comm` and
+:mod:`repro.core.io_model`; tests assert that those generalisations
+collapse to these closed forms in the two-node, equal-block cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.comm import nearest_neighbor_wait, pipeline_waits
+from repro.core.io_model import prefetch_io_seconds, sync_io_seconds
+
+__all__ = [
+    "equation_1",
+    "equation_2",
+    "equation_3",
+    "equation_4",
+    "equation_5",
+]
+
+
+def equation_1(
+    n_io: int,
+    rs: float,
+    read_icla: float,
+    ws: float = 0.0,
+    write_icla: float = 0.0,
+) -> float:
+    """``TIO(v) = N_IO(v) * (rs + R_ICLA(v) + ws + W_ICLA(v))``."""
+    return sync_io_seconds(n_io, rs, read_icla, ws, write_icla)
+
+
+def equation_2(
+    n_io: int,
+    rs: float,
+    read_icla: float,
+    overlap: float,
+    ws: float = 0.0,
+    write_icla: float = 0.0,
+) -> float:
+    """``TIO(v) = N_IO*(rs + To + ws + W) + R + (N_IO-1)*Re`` with
+    ``Re = max(0, R - To)`` (prefetching)."""
+    return prefetch_io_seconds(n_io, rs, read_icla, overlap, ws, write_icla)
+
+
+def equation_3(
+    own_stage_seconds: float,
+    own_send_overhead: float,
+    sender_stage_seconds: float,
+    sender_send_overhead: float,
+    transfer: float,
+) -> float:
+    """``w(i, m) = max(0, (Ts(j) + os(m) + X(m)) - (Ts(i) + os_i(m)))``:
+    node *i* blocks only if it finishes its stages (and its own send)
+    before node *j*'s message arrives."""
+    return nearest_neighbor_wait(
+        own_ready=own_stage_seconds + own_send_overhead,
+        sender_done=sender_stage_seconds + sender_send_overhead,
+        transfer=transfer,
+    )
+
+
+def equation_4(
+    sender_tile_seconds: Sequence[float],
+    receiver_tile_seconds: Sequence[float],
+    send_overhead: float,
+    recv_overhead: float,
+    transfer: float,
+) -> List[float]:
+    """Per-tile pipeline waits ``w(1, m, t)`` for the downstream node of
+    a two-node pipeline (the upstream node never blocks)."""
+    return pipeline_waits(
+        sender_tile_seconds,
+        receiver_tile_seconds,
+        send_overhead,
+        recv_overhead,
+        transfer,
+    )
+
+
+def equation_5(
+    send_overhead: float, wait: float, recv_overhead: float
+) -> float:
+    """``Tx(i) = os(m) + w(i, m) + or(m)`` — the communication cost a
+    nearest-neighbour section adds on node *i* for one message."""
+    return send_overhead + wait + recv_overhead

@@ -1,0 +1,288 @@
+"""Stage-time model: computation scaling plus Equations 1 and 2.
+
+``sync_io_seconds`` and ``prefetch_io_seconds`` are the paper's closed
+forms.  :class:`StageTimeModel` is what :class:`~repro.core.MhetaModel`
+actually evaluates: the same equations applied block-by-block, mirroring
+the runtime's ICLA streaming loop exactly (including the final partial
+block and, for prefetching, the unrolled loop of paper Figure 6 where
+the disk seek of a prefetched block hides inside the overlap window).
+For equal-size blocks and ``To = 0`` both formulations coincide with
+Equation 1; the unit tests pin that equivalence down.
+
+Computation scales with assigned work: ``Tc' = Tc * W'/W`` where ``W``
+is the row count the instrumented distribution assigned (Section 4.2.1).
+MHETA has no per-row cost information — which is exactly why sparse CG
+defeats it (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import ModelError
+from repro.instrument.inputs import MhetaInputs, NodeCosts
+from repro.placement import MemoryPlan
+from repro.program.sections import ParallelSection
+from repro.program.stages import Stage
+from repro.program.structure import ProgramStructure
+
+__all__ = [
+    "sync_io_seconds",
+    "prefetch_io_seconds",
+    "StageTimeModel",
+    "StageTimes",
+]
+
+
+def sync_io_seconds(
+    n_io: int,
+    read_seek: float,
+    read_icla_seconds: float,
+    write_seek: float = 0.0,
+    write_icla_seconds: float = 0.0,
+) -> float:
+    """Paper Equation 1: total synchronous I/O for one out-of-core array.
+
+    ``TIO(v) = N_IO(v) * (rs + R_ICLA(v) + ws + W_ICLA(v))`` — the seek
+    overheads and per-ICLA latencies paid once per pass.  Write terms are
+    zero for read-only arrays; ``n_io == 0`` means in core.
+    """
+    if n_io < 0:
+        raise ModelError("n_io must be non-negative")
+    return n_io * (
+        read_seek + read_icla_seconds + write_seek + write_icla_seconds
+    )
+
+
+def prefetch_io_seconds(
+    n_io: int,
+    read_seek: float,
+    read_icla_seconds: float,
+    overlap_seconds: float,
+    write_seek: float = 0.0,
+    write_icla_seconds: float = 0.0,
+) -> float:
+    """Paper Equation 2 (reconstructed): I/O with one-block-ahead
+    prefetching.
+
+    ``TIO(v) = N_IO*(rs + To + ws + W) + R + (N_IO - 1) * Re``, with the
+    effective read latency ``Re = max(0, R - To)``.  The first ICLA read
+    pays the full latency; the remaining ``N_IO - 1`` latencies are
+    mitigated by the overlap computation ``To``, which is charged whether
+    or not the prefetch succeeds ("prefetching can be more expensive than
+    regular synchronous reads").  With ``To = 0`` this reduces exactly to
+    Equation 1.
+    """
+    if n_io < 0:
+        raise ModelError("n_io must be non-negative")
+    if n_io == 0:
+        return 0.0
+    effective = max(0.0, read_icla_seconds - overlap_seconds)
+    return (
+        n_io * (read_seek + overlap_seconds + write_seek + write_icla_seconds)
+        + read_icla_seconds
+        + (n_io - 1) * effective
+    )
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Predicted time for one stage on one tile of one node."""
+
+    compute_seconds: float
+    io_seconds: float
+
+    @property
+    def total(self) -> float:
+        return self.compute_seconds + self.io_seconds
+
+
+def _block_rows(tile_rows: int, block_rows: int) -> List[int]:
+    """Row counts of the ICLA pieces streaming ``tile_rows`` (mirrors the
+    runtime: full blocks then a final partial one)."""
+    blocks = []
+    remaining = tile_rows
+    while remaining > 0:
+        take = min(block_rows, remaining)
+        blocks.append(take)
+        remaining -= take
+    return blocks
+
+
+class StageTimeModel:
+    """Predict per-stage computation + I/O time for a candidate
+    distribution, from the instrumented measurements."""
+
+    def __init__(
+        self,
+        program: ProgramStructure,
+        inputs: MhetaInputs,
+        prefetch_issue_overhead: Optional[float] = None,
+    ) -> None:
+        self._program = program
+        self._inputs = inputs
+        self._issue_overhead = (
+            prefetch_issue_overhead
+            if prefetch_issue_overhead is not None
+            else inputs.micro.prefetch_issue_overhead
+        )
+
+    # -- measured-cost lookups -------------------------------------------------
+
+    def _node_costs(self, node: int) -> NodeCosts:
+        try:
+            return self._inputs.nodes[node]
+        except IndexError:
+            raise ModelError(f"no instrumented costs for node {node}")
+
+    def scaled_compute(
+        self, node: int, section: ParallelSection, stage: Stage, rows: int
+    ) -> float:
+        """``Tc' = Tc * W'/W`` for the whole stage (all tiles)."""
+        costs = self._node_costs(node)
+        cost = costs.stage_cost(section.name, stage.name)
+        if cost is None:
+            raise ModelError(
+                f"node {node}: stage {section.name}/{stage.name} was not "
+                "measured during the instrumented iteration"
+            )
+        if costs.rows0 <= 0:
+            raise ModelError(
+                f"node {node}: instrumented distribution assigned no rows"
+            )
+        return cost.compute_seconds * (rows / costs.rows0)
+
+    def _read_pb(self, node: int, variable: str) -> float:
+        io = self._node_costs(node).io.get(variable)
+        if io is not None and io.read_seconds_per_byte > 0:
+            return io.read_seconds_per_byte
+        return self._inputs.micro.disks[node].read_byte_latency
+
+    def _write_pb(self, node: int, variable: str) -> float:
+        io = self._node_costs(node).io.get(variable)
+        if io is not None and io.write_seconds_per_byte > 0:
+            return io.write_seconds_per_byte
+        return self._inputs.micro.disks[node].write_byte_latency
+
+    def read_block_seconds(self, node: int, variable: str, nbytes: float) -> float:
+        disk = self._inputs.micro.disks[node]
+        return disk.read_seek + nbytes * self._read_pb(node, variable)
+
+    def write_block_seconds(self, node: int, variable: str, nbytes: float) -> float:
+        disk = self._inputs.micro.disks[node]
+        return disk.write_seek + nbytes * self._write_pb(node, variable)
+
+    # -- stage assembly ----------------------------------------------------------
+
+    def tile_stage_times(
+        self,
+        node: int,
+        rows: int,
+        section: ParallelSection,
+        stage: Stage,
+        tile_rows: int,
+        plan: MemoryPlan,
+    ) -> StageTimes:
+        """Predicted computation + I/O for ``stage`` over one tile's
+        ``tile_rows`` of ``rows`` total node rows."""
+        compute_total = self.scaled_compute(node, section, stage, rows)
+        tile_compute = (
+            compute_total * (tile_rows / rows) if rows > 0 else 0.0
+        )
+        variables = self._program.variable_map
+
+        def _ooc(name: str) -> bool:
+            p = plan.placements.get(name)
+            return p is not None and not p.in_core
+
+        reads_ooc = [v for v in stage.reads if _ooc(v)]
+        writes_ooc = [v for v in stage.writes if _ooc(v)]
+        primary = reads_ooc[0] if reads_ooc else None
+
+        if primary is None or tile_rows == 0:
+            io = 0.0
+            for name in writes_ooc:
+                io += self._stream_seconds(
+                    node, name, plan, tile_rows, read=False, write=True
+                )
+            return StageTimes(compute_seconds=tile_compute, io_seconds=io)
+
+        io = 0.0
+        for name in reads_ooc[1:]:
+            io += self._stream_seconds(
+                node, name, plan, tile_rows, read=True, write=False
+            )
+        write_back = (
+            primary in stage.writes and variables[primary].writes_back
+        )
+        if self._program.prefetch:
+            io += self._prefetch_loop_seconds(
+                node, primary, plan, tile_rows, tile_compute, write_back
+            )
+        else:
+            io += self._sync_loop_seconds(
+                node, primary, plan, tile_rows, write_back
+            )
+        for name in writes_ooc:
+            if name == primary:
+                continue
+            io += self._stream_seconds(
+                node, name, plan, tile_rows, read=False, write=True
+            )
+        return StageTimes(compute_seconds=tile_compute, io_seconds=io)
+
+    # -- streaming loops ------------------------------------------------------------
+
+    def _stream_seconds(
+        self, node, name, plan, tile_rows, *, read: bool, write: bool
+    ) -> float:
+        if tile_rows == 0:
+            return 0.0
+        placement = plan.placements[name]
+        row_bytes = self._program.variable(name).row_bytes
+        total = 0.0
+        for rows in _block_rows(tile_rows, placement.block_rows):
+            nbytes = rows * row_bytes
+            if read:
+                total += self.read_block_seconds(node, name, nbytes)
+            if write:
+                total += self.write_block_seconds(node, name, nbytes)
+        return total
+
+    def _sync_loop_seconds(self, node, name, plan, tile_rows, write_back) -> float:
+        """Equation 1, block by block (reads plus optional write-backs)."""
+        return self._stream_seconds(
+            node, name, plan, tile_rows, read=True, write=write_back
+        )
+
+    def _prefetch_loop_seconds(
+        self, node, name, plan, tile_rows, tile_compute, write_back
+    ) -> float:
+        """Equation 2 evaluated over the actual unrolled loop: the first
+        read is cold; each later read hides behind the previous block's
+        computation; write-backs are synchronous.
+
+        Returns only the I/O-attributable seconds: total loop time minus
+        the tile's computation (which the caller adds separately).
+        """
+        placement = plan.placements[name]
+        row_bytes = self._program.variable(name).row_bytes
+        blocks = _block_rows(tile_rows, placement.block_rows)
+        if len(blocks) == 1:
+            return self._sync_loop_seconds(node, name, plan, tile_rows, write_back)
+        shares = [tile_compute * b / tile_rows for b in blocks]
+        io = self.read_block_seconds(node, name, blocks[0] * row_bytes)
+        for i in range(1, len(blocks)):
+            read = self.read_block_seconds(node, name, blocks[i] * row_bytes)
+            overlap = shares[i - 1]
+            # Issue overhead, plus whatever latency the overlap fails to
+            # hide (compute itself is accounted by the caller).
+            io += self._issue_overhead + max(0.0, read - overlap)
+            if write_back:
+                io += self.write_block_seconds(
+                    node, name, blocks[i - 1] * row_bytes
+                )
+        if write_back:
+            io += self.write_block_seconds(node, name, blocks[-1] * row_bytes)
+        return io

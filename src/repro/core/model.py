@@ -1,0 +1,299 @@
+"""MhetaModel: the assembled execution-time predictor.
+
+``predict`` walks the program's parallel sections with per-node clocks:
+stage times come from :class:`~repro.core.io_model.StageTimeModel`
+(measured computation rescaled to the candidate distribution, plus
+Equation 1/2 I/O from the out-of-core oracle), and section-closing
+communication comes from :class:`~repro.core.comm.SectionTimeline`
+(Equation 3/4 waits, reduction, allgather).  The predicted application
+time is the slowest node's clock after the final iteration.
+
+The model deliberately knows nothing about relative CPU powers, disk
+bandwidths, page caches, or per-row work variation: everything
+hardware- or application-specific enters through the measured
+``MhetaInputs``, exactly as in the paper.  Only node *memory capacities*
+are read from the cluster description, because the out-of-core heuristic
+needs them (Section 4.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.comm import SectionTimeline
+from repro.core.io_model import StageTimeModel
+from repro.core.oracle import OutOfCoreOracle
+from repro.core.report import (
+    NodePrediction,
+    PredictionReport,
+    SectionBreakdown,
+)
+from repro.distribution.genblock import GenBlock
+from repro.exceptions import ModelError
+from repro.instrument.inputs import MhetaInputs
+from repro.program.sections import CommPattern, ParallelSection
+from repro.program.structure import ProgramStructure
+
+__all__ = ["MhetaModel"]
+
+
+def _tile_rows(rows: int, tiles: int, tile: int) -> int:
+    lo = (rows * tile) // tiles
+    hi = (rows * (tile + 1)) // tiles
+    return hi - lo
+
+
+class MhetaModel:
+    """Predict execution times for candidate distributions."""
+
+    def __init__(
+        self,
+        program: ProgramStructure,
+        memories: Union[ClusterSpec, Sequence[int]],
+        inputs: MhetaInputs,
+    ) -> None:
+        if isinstance(memories, ClusterSpec):
+            memory_list = [n.memory_bytes for n in memories.nodes]
+        else:
+            memory_list = [int(m) for m in memories]
+        if len(memory_list) != inputs.n_nodes:
+            raise ModelError(
+                "memory capacities and instrumented inputs disagree on the "
+                f"node count ({len(memory_list)} vs {inputs.n_nodes})"
+            )
+        if inputs.program_name != program.name:
+            raise ModelError(
+                f"inputs were collected for {inputs.program_name!r}, "
+                f"not {program.name!r}"
+            )
+        self.program = program
+        self.inputs = inputs
+        self.oracle = OutOfCoreOracle(program, memory_list)
+        self.stage_model = StageTimeModel(program, inputs)
+        self.timeline = SectionTimeline(inputs.micro, len(memory_list))
+
+    @property
+    def n_nodes(self) -> int:
+        return self.oracle.n_nodes
+
+    # -- prediction -------------------------------------------------------------
+
+    def predict(
+        self,
+        distribution: GenBlock,
+        iterations: Optional[int] = None,
+    ) -> PredictionReport:
+        """Full prediction with per-node, per-section breakdowns."""
+        return self._predict(distribution, iterations, want_report=True)
+
+    def predict_seconds(
+        self,
+        distribution: GenBlock,
+        iterations: Optional[int] = None,
+    ) -> float:
+        """Fast path returning only the predicted total time (what a
+        distribution-search evaluation function needs)."""
+        return self._predict(distribution, iterations, want_report=False)
+
+    # -- implementation -------------------------------------------------------------
+
+    def _section_tables(
+        self, distribution: GenBlock
+    ) -> List[Tuple[ParallelSection, List[List[float]], List[List[float]], List[float]]]:
+        """Precompute, per section: tile stage-times (split by compute and
+        I/O) and per-node message source-read costs.  These are the same
+        for every iteration, so the iteration loop only replays the
+        communication timeline."""
+        P = self.n_nodes
+        plans = self.oracle.plans(distribution)
+        tables = []
+        for section in self.program.sections:
+            tile_totals: List[List[float]] = []
+            tile_compute: List[List[float]] = []
+            source_read: List[float] = [0.0] * P
+            for n in range(P):
+                rows = distribution[n]
+                totals: List[float] = []
+                computes: List[float] = []
+                for tile in range(section.tiles):
+                    trows = _tile_rows(rows, section.tiles, tile)
+                    c_sum = 0.0
+                    t_sum = 0.0
+                    for stage in section.stages:
+                        st = self.stage_model.tile_stage_times(
+                            n, rows, section, stage, trows, plans[n]
+                        )
+                        c_sum += st.compute_seconds
+                        t_sum += st.total
+                    totals.append(t_sum)
+                    computes.append(c_sum)
+                tile_totals.append(totals)
+                tile_compute.append(computes)
+                src = section.comm.source_variable
+                if (
+                    src is not None
+                    and section.comm.pattern is CommPattern.NEAREST_NEIGHBOR
+                ):
+                    placement = plans[n].placements.get(src)
+                    if placement is not None and not placement.in_core:
+                        source_read[n] = self.stage_model.read_block_seconds(
+                            n, src, section.comm.message_bytes
+                        )
+            tables.append((section, tile_totals, tile_compute, source_read))
+        return tables
+
+    def _predict(
+        self,
+        distribution: GenBlock,
+        iterations: Optional[int],
+        want_report: bool,
+    ):
+        if distribution.n_nodes != self.n_nodes:
+            raise ModelError("distribution does not match the model's nodes")
+        if distribution.n_rows != self.program.n_rows:
+            raise ModelError("distribution does not cover the program's rows")
+        n_iter = (
+            iterations if iterations is not None else self.program.iterations
+        )
+        P = self.n_nodes
+        tables = self._section_tables(distribution)
+
+        clocks = [0.0] * P
+        iter_ends: List[List[float]] = []
+        profile = self.program.iteration_profile
+        if profile is None:
+            # Iterations are identical in cost, but the per-node clocks
+            # need a few iterations for their wait pattern to settle
+            # (pipeline fill, neighbour-wait coupling).  Walk iterations
+            # until the per-iteration increment vector repeats exactly,
+            # then extrapolate the rest linearly; a cycle is guaranteed
+            # quickly in practice, and the walk is capped by n_iter.
+            prev_steady = None
+            simulate = 0
+            while simulate < n_iter:
+                for section, tile_totals, _, source_read in tables:
+                    clocks = self.timeline.advance(
+                        section.comm.pattern,
+                        clocks,
+                        tile_totals,
+                        section.comm.message_bytes,
+                        source_read,
+                    )
+                iter_ends.append(list(clocks))
+                simulate += 1
+                if len(iter_ends) >= 2:
+                    steady_now = [
+                        iter_ends[-1][n] - iter_ends[-2][n] for n in range(P)
+                    ]
+                    if prev_steady is not None and all(
+                        abs(a - b) <= 1e-12 + 1e-9 * abs(b)
+                        for a, b in zip(steady_now, prev_steady)
+                    ):
+                        break
+                    prev_steady = steady_now
+            if n_iter == 1 or len(iter_ends) < 2:
+                totals = iter_ends[0]
+                steady = list(iter_ends[0])
+            else:
+                steady = [
+                    iter_ends[-1][n] - iter_ends[-2][n] for n in range(P)
+                ]
+                totals = [
+                    iter_ends[-1][n] + steady[n] * (n_iter - simulate)
+                    for n in range(P)
+                ]
+        else:
+            # Non-uniform iterations (paper Section 3.1's deferred case):
+            # the instrumented iteration measured computation at the
+            # profile's first multiplier; each later iteration scales its
+            # computation share accordingly.  Every iteration is walked
+            # explicitly — no steady state exists to extrapolate.
+            m0 = self.program.iteration_multiplier(0)
+            for it in range(n_iter):
+                mult = (
+                    self.program.iteration_multiplier(it)
+                    if it < self.program.iterations
+                    else 1.0
+                ) / m0
+                for section, tile_totals, tile_compute, source_read in tables:
+                    scaled = [
+                        [
+                            total + (mult - 1.0) * compute
+                            for total, compute in zip(
+                                tile_totals[n], tile_compute[n]
+                            )
+                        ]
+                        for n in range(P)
+                    ]
+                    clocks = self.timeline.advance(
+                        section.comm.pattern,
+                        clocks,
+                        scaled,
+                        section.comm.message_bytes,
+                        source_read,
+                    )
+                iter_ends.append(list(clocks))
+            totals = iter_ends[-1]
+            if n_iter >= 2:
+                steady = [
+                    iter_ends[-1][n] - iter_ends[-2][n] for n in range(P)
+                ]
+            else:
+                steady = list(iter_ends[0])
+
+        if not want_report:
+            return max(totals)
+
+        nodes = []
+        for n in range(P):
+            sections = []
+            for section, tile_totals, tile_compute, source_read in tables:
+                compute = sum(tile_compute[n])
+                io = sum(tile_totals[n]) - compute
+                sections.append(
+                    SectionBreakdown(
+                        section=section.name,
+                        compute_seconds=compute,
+                        io_seconds=io,
+                        comm_seconds=0.0,  # filled below
+                    )
+                )
+            local = sum(s.compute_seconds + s.io_seconds for s in sections)
+            comm = steady[n] - local
+            # Attribute the communication residual to the sections that
+            # actually communicate, proportionally to their messages.
+            comm_sections = [
+                s
+                for s, (sec, *_rest) in zip(sections, tables)
+                if sec.comm.pattern is not CommPattern.NONE
+            ]
+            share = comm / len(comm_sections) if comm_sections else 0.0
+            final_sections = []
+            for s, (sec, *_rest) in zip(sections, tables):
+                final_sections.append(
+                    SectionBreakdown(
+                        section=s.section,
+                        compute_seconds=s.compute_seconds,
+                        io_seconds=s.io_seconds,
+                        comm_seconds=(
+                            share
+                            if sec.comm.pattern is not CommPattern.NONE
+                            else 0.0
+                        ),
+                    )
+                )
+            nodes.append(
+                NodePrediction(
+                    node=n,
+                    iteration_seconds=steady[n],
+                    total_seconds=totals[n],
+                    sections=tuple(final_sections),
+                )
+            )
+        return PredictionReport(
+            program_name=self.program.name,
+            distribution=distribution,
+            iterations=n_iter,
+            nodes=tuple(nodes),
+        )

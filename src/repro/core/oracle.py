@@ -1,0 +1,77 @@
+"""MHETA's out-of-core heuristic.
+
+"MHETA currently uses a simple heuristic to determine if v is out of
+core for a given d'.  MHETA calculates its ICLA based on the memory
+capacity of the node and its OCLA size assigned to the node by d'."
+(paper Section 4.2.1.)
+
+The heuristic shares the greedy placement rule with the emulator
+(:mod:`repro.placement`) but assumes the node's whole application memory
+is available — it knows nothing about the runtime's buffer reservations.
+That optimism is limitation 2 of Section 5.4: near the in-core boundary
+the oracle occasionally declares a variable in core that the real
+runtime must stream, and MHETA then under-predicts by the missing I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.distribution.genblock import GenBlock
+from repro.exceptions import ModelError
+from repro.placement import MemoryPlan, plan_memory
+from repro.program.structure import ProgramStructure
+
+__all__ = ["OutOfCoreOracle"]
+
+
+class OutOfCoreOracle:
+    """Model-side ICLA/OCLA/N_IO calculator.
+
+    Parameters
+    ----------
+    program:
+        The application structure.
+    memory_bytes:
+        Application memory per node (the only hardware knowledge the
+        oracle has).
+    """
+
+    def __init__(
+        self, program: ProgramStructure, memory_bytes: Sequence[int]
+    ) -> None:
+        if len(memory_bytes) == 0:
+            raise ModelError("oracle needs at least one node's memory size")
+        self._program = program
+        self._memory = [int(m) for m in memory_bytes]
+        self._cache: Dict[tuple, MemoryPlan] = {}
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._memory)
+
+    def plan(self, node: int, rows: int) -> MemoryPlan:
+        """Placement the model believes node ``node`` uses for ``rows``."""
+        if not 0 <= node < self.n_nodes:
+            raise ModelError(f"node {node} out of range")
+        key = (node, rows)
+        plan = self._cache.get(key)
+        if plan is None:
+            plan = plan_memory(self._program, rows, self._memory[node])
+            self._cache[key] = plan
+        return plan
+
+    def plans(self, distribution: GenBlock) -> list:
+        """Placements for every node under ``distribution``."""
+        if distribution.n_nodes != self.n_nodes:
+            raise ModelError(
+                "distribution node count does not match the oracle's"
+            )
+        return [self.plan(n, distribution[n]) for n in range(self.n_nodes)]
+
+    def is_out_of_core(self, node: int, rows: int, variable: str) -> bool:
+        """The heuristic's verdict for one variable."""
+        placement = self.plan(node, rows).placements.get(variable)
+        if placement is None:
+            raise ModelError(f"{variable!r} is not a distributed variable")
+        return not placement.in_core

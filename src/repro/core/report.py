@@ -1,0 +1,96 @@
+"""Prediction reports with per-component breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.distribution.genblock import GenBlock
+from repro.util.tables import render_table
+from repro.util.units import seconds_to_human
+
+__all__ = ["SectionBreakdown", "NodePrediction", "PredictionReport"]
+
+
+@dataclass(frozen=True)
+class SectionBreakdown:
+    """One node's predicted time composition for one parallel section,
+    per iteration."""
+
+    section: str
+    compute_seconds: float
+    io_seconds: float
+    comm_seconds: float  #: overheads plus blocked time
+
+    @property
+    def total(self) -> float:
+        return self.compute_seconds + self.io_seconds + self.comm_seconds
+
+
+@dataclass(frozen=True)
+class NodePrediction:
+    """Predicted per-iteration and total times for one node."""
+
+    node: int
+    iteration_seconds: float  #: steady-state single-iteration time
+    total_seconds: float  #: all iterations, including pipeline fill
+    sections: Tuple[SectionBreakdown, ...]
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """MHETA's full answer for one candidate distribution."""
+
+    program_name: str
+    distribution: GenBlock
+    iterations: int
+    nodes: Tuple[NodePrediction, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        """The predicted application execution time: the slowest node."""
+        return max(n.total_seconds for n in self.nodes)
+
+    @property
+    def iteration_seconds(self) -> float:
+        """Predicted steady-state time per iteration (slowest node)."""
+        return max(n.iteration_seconds for n in self.nodes)
+
+    @property
+    def bottleneck_node(self) -> int:
+        return max(self.nodes, key=lambda n: n.total_seconds).node
+
+    def component_totals(self) -> Dict[str, float]:
+        """Compute/io/comm seconds per iteration on the bottleneck node."""
+        node = self.nodes[self.bottleneck_node]
+        return {
+            "compute": sum(s.compute_seconds for s in node.sections),
+            "io": sum(s.io_seconds for s in node.sections),
+            "comm": sum(s.comm_seconds for s in node.sections),
+        }
+
+    def describe(self) -> str:
+        """Human-readable summary table (per node)."""
+        rows: List[list] = []
+        for n in self.nodes:
+            rows.append(
+                [
+                    n.node,
+                    self.distribution[n.node],
+                    sum(s.compute_seconds for s in n.sections),
+                    sum(s.io_seconds for s in n.sections),
+                    sum(s.comm_seconds for s in n.sections),
+                    n.total_seconds,
+                ]
+            )
+        table = render_table(
+            ["node", "rows", "compute/iter", "io/iter", "comm/iter", "total"],
+            rows,
+            float_fmt=".4f",
+            title=(
+                f"MHETA prediction: {self.program_name} x {self.iterations} "
+                f"iterations -> {seconds_to_human(self.total_seconds)} "
+                f"(bottleneck: node {self.bottleneck_node})"
+            ),
+        )
+        return table

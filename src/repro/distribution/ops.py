@@ -1,0 +1,67 @@
+"""Operations over distributions: distances, in-core status, movement cost."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.distribution.factories import in_core_capacity_rows
+from repro.distribution.genblock import GenBlock
+from repro.exceptions import DistributionError
+from repro.program.structure import ProgramStructure
+
+__all__ = ["redistribution_bytes", "distribution_distance", "in_core_flags"]
+
+
+def _check_compatible(a: GenBlock, b: GenBlock) -> None:
+    if a.n_nodes != b.n_nodes or a.n_rows != b.n_rows:
+        raise DistributionError(
+            "distributions must cover the same nodes and rows"
+        )
+
+
+def redistribution_bytes(
+    old: GenBlock, new: GenBlock, program: ProgramStructure
+) -> int:
+    """Bytes of distributed data that must move to effect ``old -> new``.
+
+    Because GEN_BLOCK blocks are contiguous and ordered, a global row
+    moves iff its owner changes; the number of moving rows is half the L1
+    distance between the block-count vectors... only when blocks shift
+    monotonically, which is not guaranteed — so we count moved rows
+    exactly from the ownership maps.
+    """
+    _check_compatible(old, new)
+    moved_rows = 0
+    old_starts = np.asarray(old.starts + (old.n_rows,))
+    new_starts = np.asarray(new.starts + (new.n_rows,))
+    # Walk the merged breakpoints; each segment has a single owner in both.
+    breaks = np.unique(np.concatenate([old_starts, new_starts]))
+    for lo, hi in zip(breaks[:-1], breaks[1:]):
+        if hi <= lo:
+            continue
+        old_owner = int(np.searchsorted(old_starts, lo, side="right") - 1)
+        new_owner = int(np.searchsorted(new_starts, lo, side="right") - 1)
+        if old_owner != new_owner:
+            moved_rows += int(hi - lo)
+    return int(moved_rows * program.distributed_row_bytes())
+
+
+def distribution_distance(a: GenBlock, b: GenBlock) -> int:
+    """Half the L1 distance between block-count vectors: the minimum
+    number of rows that must change owner, ignoring contiguity."""
+    _check_compatible(a, b)
+    return int(np.abs(a.as_array - b.as_array).sum() // 2)
+
+
+def in_core_flags(
+    distribution: GenBlock,
+    cluster: ClusterSpec,
+    program: ProgramStructure,
+) -> np.ndarray:
+    """Boolean per node: True when the node's local arrays all fit in its
+    application memory (model-level accounting)."""
+    if distribution.n_nodes != cluster.n_nodes:
+        raise DistributionError("distribution does not match cluster size")
+    cap = in_core_capacity_rows(cluster, program, safety=False)
+    return distribution.as_array <= cap

@@ -1,0 +1,145 @@
+"""The distribution spectrum of paper Figure 8 / Section 5.1.
+
+The evaluation sweeps candidate distributions along the closed path
+
+    Blk -> I-C -> I-C/Bal -> Bal -> Blk
+
+with interpolated points on every leg.  Two degenerate cases match the
+paper exactly:
+
+* all nodes have equal relative CPU power (``Blk`` already balances the
+  load) -> sweep only Blk -> I-C;
+* no node has a memory restriction for this program (I/O is not a
+  concern) -> sweep only Blk -> Bal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+from repro.distribution.factories import (
+    balanced,
+    block,
+    in_core,
+    in_core_balanced,
+    in_core_capacity_rows,
+)
+from repro.distribution.genblock import GenBlock, largest_remainder_round
+from repro.exceptions import DistributionError
+from repro.program.structure import ProgramStructure
+
+__all__ = ["SpectrumPoint", "interpolate", "spectrum", "has_memory_pressure"]
+
+
+@dataclass(frozen=True)
+class SpectrumPoint:
+    """One x-axis point of the paper's figures."""
+
+    label: str  #: e.g. ``"Blk"``, ``"I-C"``, or ``"Blk>I-C 2/4"``
+    anchor: str  #: nearest *preceding* anchor name (``"Blk"``, ...)
+    position: float  #: 0..1 arc-length style coordinate along the path
+    distribution: GenBlock
+
+
+def interpolate(a: GenBlock, b: GenBlock, alpha: float) -> GenBlock:
+    """Blend two distributions: ``(1-alpha)*a + alpha*b`` rounded back to
+    integer blocks with the exact row total preserved."""
+    if a.n_nodes != b.n_nodes:
+        raise DistributionError("cannot interpolate across node counts")
+    if a.n_rows != b.n_rows:
+        raise DistributionError("cannot interpolate across row totals")
+    if not 0.0 <= alpha <= 1.0:
+        raise DistributionError(f"alpha must be in [0, 1], got {alpha}")
+    mix = (1.0 - alpha) * a.as_array + alpha * b.as_array
+    return GenBlock(largest_remainder_round(mix, a.n_rows, minimum=0))
+
+
+def has_memory_pressure(
+    cluster: ClusterSpec, program: ProgramStructure
+) -> bool:
+    """True when at least one node would be out of core under either the
+    Blk or the Bal distribution — i.e. I/O is a concern and the spectrum
+    must include the in-core anchors."""
+    cap = in_core_capacity_rows(cluster, program)
+    for dist in (block(cluster, program.n_rows), balanced(cluster, program.n_rows)):
+        if (dist.as_array > cap).any():
+            return True
+    return False
+
+
+def _leg(
+    start_label: str,
+    a: GenBlock,
+    end_label: str,
+    b: GenBlock,
+    steps: int,
+) -> List[Tuple[str, str, GenBlock]]:
+    """Points strictly after ``a`` up to and including ``b``."""
+    out: List[Tuple[str, str, GenBlock]] = []
+    for k in range(1, steps + 1):
+        alpha = k / steps
+        if k == steps:
+            label = end_label
+        else:
+            label = f"{start_label}>{end_label} {k}/{steps}"
+        out.append((label, start_label, interpolate(a, b, alpha)))
+    return out
+
+
+def spectrum(
+    cluster: ClusterSpec,
+    program: ProgramStructure,
+    steps_per_leg: int = 3,
+    full_path: bool = False,
+) -> List[SpectrumPoint]:
+    """Distribution candidates along the Figure-8 path.
+
+    ``steps_per_leg`` interpolation steps per leg (the anchors themselves
+    are always included).  Degenerate architectures shrink the path as
+    described in the module docstring unless ``full_path`` is set, in
+    which case all five anchors are always used (for degenerate
+    architectures some of them coincide — e.g. Bal equals Blk on a
+    CPU-homogeneous cluster).  The accuracy sweeps use ``full_path`` so
+    every architecture contributes the same x axis (paper Figure 9).
+    """
+    if steps_per_leg < 1:
+        raise DistributionError("steps_per_leg must be >= 1")
+    n_rows = program.n_rows
+    blk = block(cluster, n_rows)
+    bal = balanced(cluster, n_rows)
+    pressure = has_memory_pressure(cluster, program)
+    homogeneous = cluster.is_cpu_homogeneous
+
+    anchors: List[Tuple[str, GenBlock]]
+    if full_path or (pressure and not homogeneous):
+        ic = in_core(cluster, program)
+        icbal = in_core_balanced(cluster, program)
+        anchors = [
+            ("Blk", blk),
+            ("I-C", ic),
+            ("I-C/Bal", icbal),
+            ("Bal", bal),
+            ("Blk", blk),
+        ]
+    elif pressure:  # homogeneous CPUs: Blk == Bal, sweep only toward I-C
+        ic = in_core(cluster, program)
+        anchors = [("Blk", blk), ("I-C", ic)]
+    else:  # no memory pressure: I/O is not a concern, sweep Blk..Bal
+        anchors = [("Blk", blk), ("Bal", bal), ("Blk", blk)]
+
+    points: List[Tuple[str, str, GenBlock]] = [("Blk", "Blk", blk)]
+    for (la, da), (lb, db) in zip(anchors, anchors[1:]):
+        points.extend(_leg(la, da, lb, db, steps_per_leg))
+
+    total = len(points) - 1
+    return [
+        SpectrumPoint(
+            label=label,
+            anchor=anchor,
+            position=(i / total if total else 0.0),
+            distribution=dist,
+        )
+        for i, (label, anchor, dist) in enumerate(points)
+    ]

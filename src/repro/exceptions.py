@@ -1,0 +1,54 @@
+"""Exception hierarchy for the MHETA reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DistributionError",
+    "ProgramStructureError",
+    "SimulationError",
+    "InstrumentationError",
+    "ModelError",
+    "SearchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cluster, node, or network specification."""
+
+
+class DistributionError(ReproError):
+    """An invalid GEN_BLOCK data distribution (wrong total, negative block,
+    node count mismatch, ...)."""
+
+
+class ProgramStructureError(ReproError):
+    """An invalid program structure (unknown variable, empty section,
+    inconsistent tile count, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event emulator reached an inconsistent state (deadlock,
+    message to an unknown node, negative time, ...)."""
+
+
+class InstrumentationError(ReproError):
+    """Failure while collecting MHETA inputs from an instrumented run."""
+
+
+class ModelError(ReproError):
+    """MHETA was asked to predict with incomplete or inconsistent inputs."""
+
+
+class SearchError(ReproError):
+    """A distribution-search algorithm was misconfigured."""

@@ -1,0 +1,54 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Every artefact of the paper's evaluation section has a function here
+that regenerates it (see DESIGN.md's experiment index):
+
+* :func:`~repro.experiments.accuracy.fig9_accuracy` — Figure 9's
+  min/avg/max percent-difference bands;
+* :func:`~repro.experiments.specific.figure10`,
+  :func:`~repro.experiments.specific.figure11` — predicted-vs-actual
+  curves for the Table-1 configurations;
+* :func:`~repro.experiments.tables.table1` — the configuration table;
+* :func:`~repro.experiments.timing.model_evaluation_timing` — the
+  ~5.4 ms/evaluation claim;
+* :func:`~repro.experiments.spread.distribution_spread` — the 4x/3x
+  best-versus-worst spreads of Section 5.3;
+* :func:`~repro.experiments.ablation.error_ablation` — which emulator
+  effect produces which share of MHETA's error (Section 5.4);
+* :func:`~repro.experiments.robustness.dedicated_assumption_study` —
+  accuracy degradation on a non-dedicated cluster (why Section 3.2
+  assumes dedication).
+"""
+
+from repro.experiments.common import SpectrumRun, run_spectrum, build_model
+from repro.experiments.accuracy import AccuracyBands, fig9_accuracy
+from repro.experiments.specific import ConfigCurves, figure10, figure11, config_curves
+from repro.experiments.tables import table1
+from repro.experiments.timing import TimingResult, model_evaluation_timing
+from repro.experiments.spread import SpreadResult, distribution_spread
+from repro.experiments.ablation import AblationResult, error_ablation
+from repro.experiments.robustness import (
+    RobustnessResult,
+    dedicated_assumption_study,
+)
+
+__all__ = [
+    "SpectrumRun",
+    "run_spectrum",
+    "build_model",
+    "AccuracyBands",
+    "fig9_accuracy",
+    "ConfigCurves",
+    "figure10",
+    "figure11",
+    "config_curves",
+    "table1",
+    "TimingResult",
+    "model_evaluation_timing",
+    "SpreadResult",
+    "distribution_spread",
+    "AblationResult",
+    "error_ablation",
+    "RobustnessResult",
+    "dedicated_assumption_study",
+]

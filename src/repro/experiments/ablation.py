@@ -1,0 +1,108 @@
+"""Error ablation: where MHETA's residual error comes from.
+
+Section 5.4 attributes MHETA's error to (1) un-modelled memory-hierarchy
+effects, (2) the simplistic out-of-core heuristic, and (3) sparse data
+sets; Section 5.2.1 adds instrumented-iteration perturbation.  Our
+emulator implements each as a switchable effect, so we can measure each
+one's contribution directly: run the same accuracy sweep with all
+effects on, then with one effect disabled at a time, and report the
+error drop.  (This experiment has no figure in the paper — it is the
+quantitative backing for Section 5.4's qualitative claims.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.configs import config_io
+from repro.experiments.common import run_spectrum
+from repro.apps import ConjugateGradientApp
+from repro.program.structure import ProgramStructure
+from repro.sim.perturbation import PerturbationConfig
+from repro.util.tables import render_table
+
+__all__ = ["AblationResult", "error_ablation"]
+
+#: Effect-name -> PerturbationConfig field(s) it controls.
+EFFECTS: Dict[str, Dict[str, bool]] = {
+    "compute-noise": {"compute_noise": False},
+    "cache-effects": {"cache_effects": False},
+    "os-read-cache": {"os_read_cache": False},
+    "sparse-weights": {"sparse_weights": False},
+    "runtime-overhead": {"runtime_overhead": False},
+}
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Mean/max error with all effects on, and with each disabled."""
+
+    app_name: str
+    cluster_name: str
+    baseline_mean: float
+    baseline_max: float
+    without: Dict[str, Tuple[float, float]]  #: effect -> (mean, max)
+
+    def contribution(self, effect: str) -> float:
+        """Error (mean %) attributable to ``effect``."""
+        return self.baseline_mean - self.without[effect][0]
+
+    def describe(self) -> str:
+        rows = [["(all effects on)", self.baseline_mean, self.baseline_max, ""]]
+        for effect, (mean, mx) in self.without.items():
+            rows.append(
+                [
+                    f"without {effect}",
+                    mean,
+                    mx,
+                    f"{self.baseline_mean - mean:+.2f}",
+                ]
+            )
+        return render_table(
+            ["emulator effects", "mean err %", "max err %", "delta mean"],
+            rows,
+            float_fmt=".2f",
+            title=(
+                f"Error ablation: {self.app_name} on {self.cluster_name} "
+                "(Section 5.4's limitations, measured)"
+            ),
+        )
+
+
+def error_ablation(
+    cluster: Optional[ClusterSpec] = None,
+    program: Optional[ProgramStructure] = None,
+    steps_per_leg: int = 3,
+    scale: float = 1.0,
+) -> AblationResult:
+    """Measure each effect's error contribution.
+
+    Defaults to CG on configuration IO — the pair where the paper's
+    limitations show most clearly.
+    """
+    if cluster is None:
+        cluster = config_io()
+    if program is None:
+        program = ConjugateGradientApp.paper(scale).structure
+    base = run_spectrum(
+        cluster, program, steps_per_leg=steps_per_leg,
+        perturbation=PerturbationConfig(),
+    )
+    without: Dict[str, Tuple[float, float]] = {}
+    for effect, flags in EFFECTS.items():
+        run = run_spectrum(
+            cluster,
+            program,
+            steps_per_leg=steps_per_leg,
+            perturbation=PerturbationConfig().without(**flags),
+        )
+        without[effect] = (run.mean_error_percent, run.max_error_percent)
+    return AblationResult(
+        app_name=program.name,
+        cluster_name=cluster.name,
+        baseline_mean=base.mean_error_percent,
+        baseline_max=base.max_error_percent,
+        without=without,
+    )

@@ -1,0 +1,153 @@
+"""Shared experiment plumbing: instrument, model, sweep, compare.
+
+The paper's protocol (Section 5.1): instrument one iteration under the
+``Blk`` distribution, feed the measurements to MHETA, then run both the
+real application (here: the emulator) and MHETA over the candidate
+distributions and compare.  Percent difference is "the absolute
+difference divided by the minimum of each application's predicted and
+actual execution times" (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.model import MhetaModel
+from repro.distribution.factories import block
+from repro.distribution.spectrum import spectrum
+from repro.instrument.collect import collect_inputs
+from repro.program.structure import ProgramStructure
+from repro.sim.executor import ClusterEmulator
+from repro.sim.perturbation import PerturbationConfig
+
+__all__ = ["PointComparison", "SpectrumRun", "build_model", "run_spectrum"]
+
+
+def percent_difference(actual: float, predicted: float) -> float:
+    """The paper's error metric, as a percentage."""
+    denom = min(actual, predicted)
+    if denom <= 0:
+        return 0.0
+    return abs(actual - predicted) / denom * 100.0
+
+
+@dataclass(frozen=True)
+class PointComparison:
+    """Actual vs predicted at one spectrum point."""
+
+    label: str
+    anchor: str
+    position: float
+    actual_seconds: float
+    predicted_seconds: float
+
+    @property
+    def error_percent(self) -> float:
+        return percent_difference(self.actual_seconds, self.predicted_seconds)
+
+    @property
+    def signed_error_percent(self) -> float:
+        """Positive = over-prediction."""
+        sign = 1.0 if self.predicted_seconds >= self.actual_seconds else -1.0
+        return sign * self.error_percent
+
+
+@dataclass(frozen=True)
+class SpectrumRun:
+    """One application on one architecture, swept over the spectrum."""
+
+    app_name: str
+    cluster_name: str
+    points: Tuple[PointComparison, ...]
+
+    @property
+    def mean_error_percent(self) -> float:
+        return sum(p.error_percent for p in self.points) / len(self.points)
+
+    @property
+    def max_error_percent(self) -> float:
+        return max(p.error_percent for p in self.points)
+
+    @property
+    def best_actual(self) -> PointComparison:
+        return min(self.points, key=lambda p: p.actual_seconds)
+
+    @property
+    def best_predicted(self) -> PointComparison:
+        return min(self.points, key=lambda p: p.predicted_seconds)
+
+    @property
+    def spread(self) -> float:
+        """Worst/best actual execution-time ratio over the spectrum."""
+        times = [p.actual_seconds for p in self.points]
+        return max(times) / min(times)
+
+    def chart(self, height: int = 12, width: int = 64) -> str:
+        """ASCII rendering of this run's actual-vs-predicted curves (one
+        panel of the paper's Figures 10/11)."""
+        from repro.util.ascii_plot import ascii_plot
+
+        return ascii_plot(
+            [p.label for p in self.points],
+            {
+                "actual": [p.actual_seconds for p in self.points],
+                "predicted": [p.predicted_seconds for p in self.points],
+            },
+            height=height,
+            width=width,
+            title=(
+                f"{self.app_name} on {self.cluster_name} (seconds; best "
+                f"actual at {self.best_actual.label!r})"
+            ),
+        )
+
+
+def build_model(
+    cluster: ClusterSpec,
+    program: ProgramStructure,
+    perturbation: Optional[PerturbationConfig] = None,
+) -> MhetaModel:
+    """Instrument one Blk iteration and construct the MHETA model."""
+    d0 = block(cluster, program.n_rows)
+    inputs = collect_inputs(cluster, program, d0, perturbation=perturbation)
+    return MhetaModel(program, cluster, inputs)
+
+
+def run_spectrum(
+    cluster: ClusterSpec,
+    program: ProgramStructure,
+    steps_per_leg: int = 3,
+    full_path: bool = False,
+    perturbation: Optional[PerturbationConfig] = None,
+    model: Optional[MhetaModel] = None,
+) -> SpectrumRun:
+    """Compare actual vs predicted over the distribution spectrum."""
+    emulator = ClusterEmulator(cluster, program, perturbation)
+    if model is None:
+        model = build_model(cluster, program, perturbation)
+    comparisons: List[PointComparison] = []
+    seen = {}
+    for point in spectrum(cluster, program, steps_per_leg, full_path):
+        key = point.distribution.counts
+        if key in seen:
+            actual, predicted = seen[key]
+        else:
+            actual = emulator.run(point.distribution).total_seconds
+            predicted = model.predict_seconds(point.distribution)
+            seen[key] = (actual, predicted)
+        comparisons.append(
+            PointComparison(
+                label=point.label,
+                anchor=point.anchor,
+                position=point.position,
+                actual_seconds=actual,
+                predicted_seconds=predicted,
+            )
+        )
+    return SpectrumRun(
+        app_name=program.name,
+        cluster_name=cluster.name,
+        points=tuple(comparisons),
+    )

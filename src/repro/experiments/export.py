@@ -1,0 +1,94 @@
+"""Serialising experiment results.
+
+Benchmark artefacts in ``benchmarks/results/`` are rendered text; these
+helpers additionally export the underlying numbers as JSON so downstream
+analysis (plotting, regression tracking across versions) can consume
+them without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.experiments.accuracy import AccuracyBands
+from repro.experiments.common import PointComparison, SpectrumRun
+
+__all__ = [
+    "spectrum_run_to_dict",
+    "spectrum_run_from_dict",
+    "accuracy_bands_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def spectrum_run_to_dict(run: SpectrumRun) -> Dict[str, Any]:
+    """JSON-ready dictionary for one spectrum sweep."""
+    return {
+        "kind": "spectrum_run",
+        "app": run.app_name,
+        "cluster": run.cluster_name,
+        "points": [
+            {
+                "label": p.label,
+                "anchor": p.anchor,
+                "position": p.position,
+                "actual_seconds": p.actual_seconds,
+                "predicted_seconds": p.predicted_seconds,
+            }
+            for p in run.points
+        ],
+        "summary": {
+            "mean_error_percent": run.mean_error_percent,
+            "max_error_percent": run.max_error_percent,
+            "spread": run.spread,
+            "best_actual": run.best_actual.label,
+            "best_predicted": run.best_predicted.label,
+        },
+    }
+
+
+def spectrum_run_from_dict(data: Dict[str, Any]) -> SpectrumRun:
+    """Rebuild a :class:`SpectrumRun` from its exported dictionary."""
+    if data.get("kind") != "spectrum_run":
+        raise ValueError(f"not a spectrum_run export: {data.get('kind')!r}")
+    points = tuple(
+        PointComparison(
+            label=p["label"],
+            anchor=p["anchor"],
+            position=p["position"],
+            actual_seconds=p["actual_seconds"],
+            predicted_seconds=p["predicted_seconds"],
+        )
+        for p in data["points"]
+    )
+    return SpectrumRun(
+        app_name=data["app"], cluster_name=data["cluster"], points=points
+    )
+
+
+def accuracy_bands_to_dict(bands: AccuracyBands) -> Dict[str, Any]:
+    """JSON-ready dictionary for one Figure-9 panel."""
+    return {
+        "kind": "accuracy_bands",
+        "title": bands.title,
+        "labels": list(bands.labels),
+        "minimum": list(bands.minimum),
+        "average": list(bands.average),
+        "maximum": list(bands.maximum),
+        "overall_average_percent": bands.overall_average_percent,
+        "runs": [spectrum_run_to_dict(r) for r in bands.runs],
+    }
+
+
+def save_json(data: Dict[str, Any], path) -> None:
+    """Write an export to disk."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+
+
+def load_json(path) -> Dict[str, Any]:
+    """Read an export back."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,81 @@
+"""Best-versus-worst distribution spreads (Section 5.3).
+
+"Given the worst data distributions, the execution times for RNA on DC
+and Lanzcos on HY1 are almost 4 and 3 times as slow, respectively, as
+when given the best distribution."  This experiment measures those
+spreads — the reason picking distributions by guesswork "can result in
+a doubling or tripling of execution time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cluster.configs import table1_configs
+from repro.apps import paper_applications
+from repro.experiments.common import SpectrumRun, run_spectrum
+from repro.util.tables import render_table
+
+__all__ = ["SpreadResult", "distribution_spread"]
+
+#: The two spreads the paper calls out explicitly.
+PAPER_SPREADS = {("rna", "DC"): 4.0, ("lanczos", "HY1"): 3.0}
+
+
+@dataclass(frozen=True)
+class SpreadResult:
+    """Worst/best spreads for every (application, configuration) pair."""
+
+    spreads: Dict[Tuple[str, str], float]
+    best_labels: Dict[Tuple[str, str], str]
+    worst_labels: Dict[Tuple[str, str], str]
+
+    def spread(self, app: str, config: str) -> float:
+        return self.spreads[(app, config)]
+
+    def describe(self) -> str:
+        rows = []
+        for (app, config), value in sorted(self.spreads.items()):
+            paper = PAPER_SPREADS.get((app, config))
+            rows.append(
+                [
+                    app,
+                    config,
+                    value,
+                    self.best_labels[(app, config)],
+                    self.worst_labels[(app, config)],
+                    f"~{paper:.0f}x" if paper else "",
+                ]
+            )
+        return render_table(
+            ["app", "config", "worst/best", "best at", "worst at", "paper"],
+            rows,
+            float_fmt=".2f",
+            title="Best-vs-worst distribution spreads (Section 5.3)",
+        )
+
+
+def distribution_spread(
+    configs: Optional[Sequence[str]] = None,
+    steps_per_leg: int = 4,
+    scale: float = 1.0,
+) -> SpreadResult:
+    """Measure spreads over the spectrum for each app x configuration."""
+    table = table1_configs()
+    names = list(configs) if configs is not None else list(table)
+    spreads: Dict[Tuple[str, str], float] = {}
+    best: Dict[Tuple[str, str], str] = {}
+    worst: Dict[Tuple[str, str], str] = {}
+    for app in paper_applications(scale):
+        for cname in names:
+            run: SpectrumRun = run_spectrum(
+                table[cname], app.structure, steps_per_leg=steps_per_leg
+            )
+            key = (app.name, cname)
+            spreads[key] = run.spread
+            best[key] = run.best_actual.label
+            worst[key] = max(
+                run.points, key=lambda p: p.actual_seconds
+            ).label
+    return SpreadResult(spreads=spreads, best_labels=best, worst_labels=worst)

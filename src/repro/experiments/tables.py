@@ -1,0 +1,54 @@
+"""Table 1: the four sample configurations, rendered."""
+
+from __future__ import annotations
+
+from repro.cluster.configs import table1_configs
+from repro.util.tables import render_table
+from repro.util.units import bytes_to_human
+
+__all__ = ["table1"]
+
+_DESCRIPTIONS = {
+    "DC": (
+        "Two nodes have a lower relative CPU power, and two other nodes "
+        "have higher relative CPU power.  The rest are unchanged."
+    ),
+    "IO": (
+        "Half of the nodes have high I/O latency and small memories, but "
+        "all nodes have equal relative CPU power."
+    ),
+    "HY1": (
+        "Four nodes have varying relative CPU powers and the other four "
+        "have low I/O latencies and small memories."
+    ),
+    "HY2": (
+        "Four nodes have varying relative CPU power and two nodes have "
+        "high I/O latencies.  The other two have large memories."
+    ),
+}
+
+
+def table1() -> str:
+    """Render the paper's Table 1, with the concrete parameters of this
+    reproduction's emulated nodes underneath each description."""
+    blocks = []
+    for name, cluster in table1_configs().items():
+        rows = []
+        for i, node in enumerate(cluster.nodes):
+            rows.append(
+                [
+                    i,
+                    node.cpu_power,
+                    bytes_to_human(node.memory_bytes),
+                    f"{node.disk_read_bw / 1e6:.1f} MB/s",
+                    f"{node.disk_read_seek * 1e3:.0f} ms",
+                ]
+            )
+        table = render_table(
+            ["node", "cpu power", "memory", "disk read bw", "seek"],
+            rows,
+            float_fmt=".2f",
+            title=f"{name}: {_DESCRIPTIONS[name]}",
+        )
+        blocks.append(table)
+    return "\n\n".join(blocks)

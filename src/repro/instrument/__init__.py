@@ -1,0 +1,47 @@
+"""Instrumentation: extracting MHETA's inputs from a single iteration.
+
+The paper obtains MHETA's parameter values from two sources
+(Section 4.1):
+
+* **microbenchmarks** for quantities that are stable properties of the
+  dedicated cluster — send/receive overheads, per-byte send latency, and
+  per-node disk seek overheads (:mod:`repro.instrument.microbench`);
+* **one instrumented iteration** of the application for
+  application-specific costs — per-stage computation durations and
+  per-variable I/O latencies — collected through MPI-Jack-style pre/post
+  hooks around the runtime's I/O and communication calls
+  (:mod:`repro.instrument.hooks`, :mod:`repro.instrument.collect`).
+
+During the instrumented iteration every distributed variable is forced
+to perform I/O (so latencies exist for variables that happen to be in
+core under the instrumented distribution), and prefetch issues are
+transparently turned into blocking reads with no-op waits so that read
+latencies and overlap computation can both be timed (paper Figures 4-5).
+
+The result is a :class:`~repro.instrument.inputs.MhetaInputs` record —
+the paper's "internal MHETA file" — consumed by :mod:`repro.core`.
+"""
+
+from repro.instrument.hooks import HookRegistry
+from repro.instrument.microbench import (
+    Microbenchmarks,
+    run_microbenchmarks,
+)
+from repro.instrument.inputs import (
+    MhetaInputs,
+    StageCost,
+    VariableIOCost,
+    NodeCosts,
+)
+from repro.instrument.collect import collect_inputs
+
+__all__ = [
+    "HookRegistry",
+    "Microbenchmarks",
+    "run_microbenchmarks",
+    "MhetaInputs",
+    "StageCost",
+    "VariableIOCost",
+    "NodeCosts",
+    "collect_inputs",
+]

@@ -1,0 +1,190 @@
+"""Collect MHETA inputs from one instrumented iteration.
+
+The instrumented iteration runs the real application (on the emulator)
+with three changes, matching paper Section 4.1:
+
+* every distributed variable is **forced out of core** so read/write
+  latencies exist even for data that happens to fit in memory under the
+  instrumented distribution;
+* prefetch issues are turned into **blocking reads** and waits into
+  no-ops, so both the read latency and the overlap computation ``To``
+  can be timed precisely (Figure 5);
+* pre/post hooks time every I/O call and every stage (Figure 3).
+
+Timers are not free: every recorded duration is perturbed by a small
+multiplicative bias plus an absolute timer overhead
+(:class:`MeasurementConfig`).  The paper reports this perturbation costs
+MHETA up to ~1% even when predicting the instrumented distribution
+itself (Section 5.2.1); the self-prediction benchmark checks ours stays
+in that band.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+from repro.distribution.genblock import GenBlock
+from repro.exceptions import InstrumentationError
+from repro.instrument.hooks import HookRegistry
+from repro.instrument.inputs import (
+    MhetaInputs,
+    NodeCosts,
+    StageCost,
+    VariableIOCost,
+)
+from repro.instrument.microbench import Microbenchmarks, run_microbenchmarks
+from repro.program.structure import ProgramStructure
+from repro.sim.executor import ClusterEmulator
+from repro.sim.perturbation import PerturbationConfig
+from repro.sim.trace import EventRecord, Op
+from repro.util.rng import stream
+
+__all__ = ["MeasurementConfig", "collect_inputs"]
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """How imperfect the instrumentation timers are."""
+
+    relative_bias: float = 0.004  #: timers systematically read slightly long
+    relative_sigma: float = 0.003  #: per-measurement jitter
+    timer_overhead: float = 2e-6  #: absolute seconds added per measurement
+
+    @classmethod
+    def perfect(cls) -> "MeasurementConfig":
+        """Idealised timers (used to validate the model equations)."""
+        return cls(relative_bias=0.0, relative_sigma=0.0, timer_overhead=0.0)
+
+
+class _Accumulator:
+    """Aggregates hook records into per-node costs."""
+
+    def __init__(self, measurement: MeasurementConfig, rng) -> None:
+        self._m = measurement
+        self._rng = rng
+        # (node, section, stage) -> [total_compute, n_records]
+        self.compute: Dict[Tuple[int, str, str], list] = defaultdict(
+            lambda: [0.0, 0]
+        )
+        # (node, var, kind) -> [total_seconds, total_bytes, n_accesses]
+        self.io: Dict[Tuple[int, str, str], list] = defaultdict(
+            lambda: [0.0, 0.0, 0]
+        )
+
+    def _measured(self, true_duration: float) -> float:
+        rel = self._m.relative_bias + self._rng.normal(0.0, self._m.relative_sigma)
+        return true_duration * (1.0 + rel) + self._m.timer_overhead
+
+    def on_compute(self, record: EventRecord) -> None:
+        if record.stage is None:
+            return
+        cell = self.compute[(record.node, record.section, record.stage)]
+        cell[0] += self._measured(record.duration)
+        cell[1] += 1
+
+    def on_read(self, record: EventRecord) -> None:
+        if record.variable is None:
+            return
+        cell = self.io[(record.node, record.variable, "read")]
+        cell[0] += self._measured(record.duration)
+        cell[1] += record.nbytes
+        cell[2] += 1
+
+    def on_write(self, record: EventRecord) -> None:
+        if record.variable is None:
+            return
+        cell = self.io[(record.node, record.variable, "write")]
+        cell[0] += self._measured(record.duration)
+        cell[1] += record.nbytes
+        cell[2] += 1
+
+
+def collect_inputs(
+    cluster: ClusterSpec,
+    program: ProgramStructure,
+    distribution0: GenBlock,
+    *,
+    perturbation: Optional[PerturbationConfig] = None,
+    measurement: Optional[MeasurementConfig] = None,
+    micro: Optional[Microbenchmarks] = None,
+) -> MhetaInputs:
+    """Run the instrumented iteration and return the internal MHETA file.
+
+    ``distribution0`` is the distribution the instrumented iteration uses
+    (the paper instruments under ``Blk``).  ``micro`` may be supplied to
+    reuse previously measured microbenchmarks.
+    """
+    if distribution0.n_rows != program.n_rows:
+        raise InstrumentationError(
+            "instrumented distribution does not cover the program's rows"
+        )
+    measurement = measurement or MeasurementConfig()
+    micro = micro or run_microbenchmarks(cluster)
+
+    rng = stream("measurement", cluster.name, program.name)
+    acc = _Accumulator(measurement, rng)
+    hooks = HookRegistry()
+    hooks.register(Op.COMPUTE, acc.on_compute)
+    hooks.register(Op.READ, acc.on_read)
+    hooks.register(Op.WRITE, acc.on_write)
+
+    emulator = ClusterEmulator(cluster, program, perturbation)
+    emulator.run(distribution0, observer=hooks, instrumented=True, iterations=1)
+
+    nodes = []
+    for rank in range(cluster.n_nodes):
+        stages: Dict[str, StageCost] = {}
+        for section in program.sections:
+            for stage in section.stages:
+                total, count = acc.compute.get(
+                    (rank, section.name, stage.name), (0.0, 0)
+                )
+                if count == 0:
+                    continue
+                overlap = total / count if program.prefetch and count > 1 else 0.0
+                stages[NodeCosts.stage_key(section.name, stage.name)] = StageCost(
+                    compute_seconds=total,
+                    overlap_per_block=overlap,
+                    blocks_measured=count,
+                )
+        io: Dict[str, VariableIOCost] = {}
+        disk = micro.disks[rank]
+        for variable in program.distributed_variables:
+            r_total, r_bytes, r_n = acc.io.get(
+                (rank, variable.name, "read"), (0.0, 0.0, 0)
+            )
+            w_total, w_bytes, w_n = acc.io.get(
+                (rank, variable.name, "write"), (0.0, 0.0, 0)
+            )
+            if r_n == 0 and w_n == 0:
+                continue
+            read_pb = (
+                max(r_total - r_n * disk.read_seek, 0.0) / r_bytes
+                if r_bytes > 0
+                else 0.0
+            )
+            write_pb = (
+                max(w_total - w_n * disk.write_seek, 0.0) / w_bytes
+                if w_bytes > 0
+                else 0.0
+            )
+            io[variable.name] = VariableIOCost(
+                read_seconds_per_byte=read_pb,
+                write_seconds_per_byte=write_pb,
+                bytes_observed=r_bytes + w_bytes,
+                accesses_observed=r_n + w_n,
+            )
+        nodes.append(
+            NodeCosts(rows0=distribution0[rank], stages=stages, io=io)
+        )
+
+    return MhetaInputs(
+        program_name=program.name,
+        prefetch=program.prefetch,
+        distribution0=tuple(distribution0.counts),
+        micro=micro,
+        nodes=tuple(nodes),
+    )

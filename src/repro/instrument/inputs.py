@@ -1,0 +1,150 @@
+"""The "internal MHETA file": everything the model needs to predict.
+
+``MhetaInputs`` bundles the program structure reference, the
+microbenchmark results, and the per-node costs measured during the
+instrumented iteration (computation per stage, I/O latency per variable,
+overlap computation for prefetching).  It serialises to and from JSON so
+a collected file can be stored alongside an application, exactly like
+the paper's internal MHETA file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ModelError
+from repro.instrument.microbench import Microbenchmarks, NodeDiskBench
+
+__all__ = ["StageCost", "VariableIOCost", "NodeCosts", "MhetaInputs"]
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Measured computation for one stage on one node.
+
+    ``compute_seconds`` is the stage's total measured computation at the
+    instrumented distribution (``rows0`` rows on this node).
+    ``overlap_per_block`` is ``To`` — the computation available to
+    overlap one prefetched read, measured with the blocking-read
+    transformation of paper Figure 5; zero for non-prefetching programs.
+    ``blocks_measured`` is how many ICLA pieces the forced-out-of-core
+    instrumented iteration streamed.
+    """
+
+    compute_seconds: float
+    overlap_per_block: float = 0.0
+    blocks_measured: int = 1
+
+
+@dataclass(frozen=True)
+class VariableIOCost:
+    """Measured I/O latencies for one variable on one node.
+
+    Per-byte figures, net of the node's seek overheads (the paper keeps
+    per-element latencies; byte granularity is equivalent and avoids
+    coupling to the element size here).
+    """
+
+    read_seconds_per_byte: float
+    write_seconds_per_byte: float
+    bytes_observed: float = 0.0
+    accesses_observed: int = 0
+
+
+@dataclass(frozen=True)
+class NodeCosts:
+    """All instrumented measurements for one node."""
+
+    rows0: int  #: rows the instrumented distribution gave this node
+    stages: Dict[str, StageCost]  #: key: "section/stage"
+    io: Dict[str, VariableIOCost]  #: key: variable name
+
+    @staticmethod
+    def stage_key(section: str, stage: str) -> str:
+        return f"{section}/{stage}"
+
+    def stage_cost(self, section: str, stage: str) -> Optional[StageCost]:
+        return self.stages.get(self.stage_key(section, stage))
+
+
+@dataclass(frozen=True)
+class MhetaInputs:
+    """Everything MHETA needs, as measured — the internal MHETA file."""
+
+    program_name: str
+    prefetch: bool
+    distribution0: Tuple[int, ...]
+    micro: Microbenchmarks
+    nodes: Tuple[NodeCosts, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.distribution0):
+            raise ModelError(
+                "instrumented costs and distribution cover different "
+                f"node counts ({len(self.nodes)} vs {len(self.distribution0)})"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "program_name": self.program_name,
+            "prefetch": self.prefetch,
+            "distribution0": list(self.distribution0),
+            "micro": asdict(self.micro),
+            "nodes": [
+                {
+                    "rows0": n.rows0,
+                    "stages": {k: asdict(v) for k, v in n.stages.items()},
+                    "io": {k: asdict(v) for k, v in n.io.items()},
+                }
+                for n in self.nodes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MhetaInputs":
+        micro_data = dict(data["micro"])
+        micro_data["disks"] = tuple(
+            NodeDiskBench(**d) for d in micro_data["disks"]
+        )
+        micro = Microbenchmarks(**micro_data)
+        nodes = tuple(
+            NodeCosts(
+                rows0=n["rows0"],
+                stages={k: StageCost(**v) for k, v in n["stages"].items()},
+                io={k: VariableIOCost(**v) for k, v in n["io"].items()},
+            )
+            for n in data["nodes"]
+        )
+        return cls(
+            program_name=data["program_name"],
+            prefetch=data["prefetch"],
+            distribution0=tuple(data["distribution0"]),
+            micro=micro,
+            nodes=nodes,
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MhetaInputs":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the internal MHETA file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "MhetaInputs":
+        """Read an internal MHETA file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

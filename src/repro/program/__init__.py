@@ -1,0 +1,32 @@
+"""Program structure: variables, stages, tiles, parallel sections.
+
+The paper's computational model (Section 3.1) describes iterative
+scientific applications as a sequence of *parallel sections*, delimited
+by nearest-neighbour or reduction communication.  A section contains one
+or more *tiles* (pipelined applications have many); a tile contains one
+or more *stages*, each of which performs computation and explicit I/O
+over the distributed arrays it touches.
+
+:class:`ProgramStructure` is the static description MHETA consumes ("we
+currently analyze the application source code manually ... and store this
+information in a file read by MHETA"); the same object drives the
+discrete-event emulator, so model and ground truth always agree on the
+program's shape and differ only in execution fidelity.
+"""
+
+from repro.program.variables import Access, Variable
+from repro.program.stages import Stage
+from repro.program.sections import CommPattern, CommSpec, ParallelSection
+from repro.program.structure import ProgramStructure
+from repro.program.builder import ProgramBuilder
+
+__all__ = [
+    "Access",
+    "Variable",
+    "Stage",
+    "CommPattern",
+    "CommSpec",
+    "ParallelSection",
+    "ProgramStructure",
+    "ProgramBuilder",
+]

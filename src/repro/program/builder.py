@@ -1,0 +1,224 @@
+"""Fluent builder for :class:`~repro.program.ProgramStructure`.
+
+The applications in :mod:`repro.apps` declare their structure through
+this builder, which keeps the declarations readable and validates eagerly
+(unknown variables fail at ``add_section`` time, not at run time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ProgramStructureError
+from repro.program.sections import CommPattern, CommSpec, ParallelSection
+from repro.program.stages import Stage
+from repro.program.structure import ProgramStructure
+from repro.program.variables import Access, Variable
+
+__all__ = ["ProgramBuilder"]
+
+
+class ProgramBuilder:
+    """Build a :class:`ProgramStructure` incrementally.
+
+    Example
+    -------
+    >>> program = (
+    ...     ProgramBuilder("jacobi", n_rows=1024, iterations=100)
+    ...     .distributed("grid", cols=1024, access="read-write")
+    ...     .section("sweep")
+    ...     .stage("update", reads=["grid"], writes=["grid"],
+    ...            work_per_row=2e-6)
+    ...     .nearest_neighbor(message_bytes=8192, source_variable="grid")
+    ...     .section("residual")
+    ...     .stage("norm", reads=["grid"], work_per_row=1e-7)
+    ...     .reduction(message_bytes=8)
+    ...     .build()
+    ... )
+    >>> program.n_rows
+    1024
+    """
+
+    def __init__(self, name: str, n_rows: int, iterations: int = 1) -> None:
+        self._name = name
+        self._n_rows = n_rows
+        self._iterations = iterations
+        self._variables: list = []
+        self._sections: list = []
+        self._row_weights: Optional[np.ndarray] = None
+        self._iteration_profile: Optional[np.ndarray] = None
+        self._prefetch = False
+        # current (open) section state
+        self._sec_name: Optional[str] = None
+        self._sec_stages: list = []
+        self._sec_tiles = 1
+
+    # -- variables -----------------------------------------------------------
+
+    def distributed(
+        self,
+        name: str,
+        cols: float,
+        access: str = "read-only",
+        element_size: int = 8,
+    ) -> "ProgramBuilder":
+        """Declare a distributed (row-partitioned) variable."""
+        self._variables.append(
+            Variable(
+                name=name,
+                cols=cols,
+                distributed=True,
+                access=Access(access),
+                element_size=element_size,
+            )
+        )
+        return self
+
+    def replicated(
+        self, name: str, elements: int, element_size: int = 8
+    ) -> "ProgramBuilder":
+        """Declare a replicated variable held in full on every node."""
+        self._variables.append(
+            Variable(
+                name=name,
+                distributed=False,
+                replicated_elements=elements,
+                element_size=element_size,
+            )
+        )
+        return self
+
+    # -- sections and stages ---------------------------------------------------
+
+    def section(self, name: str, tiles: int = 1) -> "ProgramBuilder":
+        """Open a new parallel section (closing any previous one with no
+        communication if it was not explicitly closed)."""
+        self._close_open_section()
+        self._sec_name = name
+        self._sec_stages = []
+        self._sec_tiles = tiles
+        return self
+
+    def stage(
+        self,
+        name: str,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+        work_per_row: float = 0.0,
+        fixed_work: float = 0.0,
+    ) -> "ProgramBuilder":
+        """Add a stage to the open section."""
+        if self._sec_name is None:
+            raise ProgramStructureError("stage() before section()")
+        self._sec_stages.append(
+            Stage(
+                name=name,
+                reads=tuple(reads),
+                writes=tuple(writes),
+                work_per_row=work_per_row,
+                fixed_work=fixed_work,
+            )
+        )
+        return self
+
+    # -- communication closers -------------------------------------------------
+
+    def _close(self, comm: CommSpec) -> "ProgramBuilder":
+        if self._sec_name is None:
+            raise ProgramStructureError("communication before section()")
+        self._sections.append(
+            ParallelSection(
+                name=self._sec_name,
+                stages=tuple(self._sec_stages),
+                tiles=self._sec_tiles,
+                comm=comm,
+            )
+        )
+        self._sec_name = None
+        self._sec_stages = []
+        self._sec_tiles = 1
+        return self
+
+    def no_comm(self) -> "ProgramBuilder":
+        """Close the open section with no communication."""
+        return self._close(CommSpec.none())
+
+    def nearest_neighbor(
+        self, message_bytes: float, source_variable: Optional[str] = None
+    ) -> "ProgramBuilder":
+        """Close the open section with a boundary exchange."""
+        return self._close(
+            CommSpec(
+                pattern=CommPattern.NEAREST_NEIGHBOR,
+                message_bytes=message_bytes,
+                source_variable=source_variable,
+            )
+        )
+
+    def pipeline(
+        self, message_bytes: float, source_variable: Optional[str] = None
+    ) -> "ProgramBuilder":
+        """Close the open section with per-tile pipelined messages."""
+        return self._close(
+            CommSpec(
+                pattern=CommPattern.PIPELINE,
+                message_bytes=message_bytes,
+                source_variable=source_variable,
+            )
+        )
+
+    def reduction(self, message_bytes: float = 8.0) -> "ProgramBuilder":
+        """Close the open section with a global (all)reduction."""
+        return self._close(
+            CommSpec(
+                pattern=CommPattern.REDUCTION, message_bytes=message_bytes
+            )
+        )
+
+    def allgather(self, message_bytes: float) -> "ProgramBuilder":
+        """Close the open section with an allgather collective."""
+        return self._close(
+            CommSpec(
+                pattern=CommPattern.ALLGATHER, message_bytes=message_bytes
+            )
+        )
+
+    # -- global knobs ----------------------------------------------------------
+
+    def weights(self, row_weights: np.ndarray) -> "ProgramBuilder":
+        """Attach ground-truth per-row compute weights (emulator only)."""
+        self._row_weights = np.asarray(row_weights, dtype=float)
+        return self
+
+    def prefetching(self, enabled: bool = True) -> "ProgramBuilder":
+        """Enable one-block-ahead asynchronous ICLA reads."""
+        self._prefetch = enabled
+        return self
+
+    def iteration_profile(self, profile) -> "ProgramBuilder":
+        """Attach per-iteration computation multipliers (non-uniform
+        iterations, paper Section 3.1's deferred case)."""
+        self._iteration_profile = np.asarray(profile, dtype=float)
+        return self
+
+    # -- finalisation ------------------------------------------------------------
+
+    def _close_open_section(self) -> None:
+        if self._sec_name is not None:
+            self._close(CommSpec.none())
+
+    def build(self) -> ProgramStructure:
+        """Validate and return the program structure."""
+        self._close_open_section()
+        return ProgramStructure(
+            name=self._name,
+            n_rows=self._n_rows,
+            variables=tuple(self._variables),
+            sections=tuple(self._sections),
+            iterations=self._iterations,
+            prefetch=self._prefetch,
+            row_weights=self._row_weights,
+            iteration_profile=self._iteration_profile,
+        )

@@ -1,0 +1,80 @@
+"""Stages: the computation+I/O units inside a tile.
+
+A stage is "bounded explicitly by an outermost loop over a
+multidimensional array or implicitly by the end of a tile" (paper
+Section 3.1).  Only computation and I/O happen inside a stage; the
+communication belongs to the enclosing parallel section.
+
+The ground-truth work parameters (``work_per_row``, ``fixed_work``) are
+what the discrete-event emulator executes.  MHETA never reads them — it
+only sees the *measured* stage durations from the instrumented iteration,
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.exceptions import ProgramStructureError
+
+__all__ = ["Stage"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of computation and explicit I/O.
+
+    Parameters
+    ----------
+    name:
+        Stage label, unique within its parallel section.
+    reads:
+        Names of variables read.  Distributed read variables that are out
+        of core are streamed from disk in ICLA-sized pieces.
+    writes:
+        Names of variables written.  A distributed variable that is both
+        read and written (e.g. Jacobi's grid) incurs a write-back per
+        ICLA piece.
+    work_per_row:
+        Ground-truth computation seconds (at relative CPU power 1.0) per
+        distributed row processed by this stage.
+    fixed_work:
+        Aggregate ground-truth computation seconds for the stage across
+        the whole cluster, distributed proportionally to the global rows
+        each node owns (so all ground-truth work stays in the
+        row-proportional regime MHETA's ``Tc * W'/W`` models).
+    """
+
+    name: str
+    reads: Tuple[str, ...] = field(default_factory=tuple)
+    writes: Tuple[str, ...] = field(default_factory=tuple)
+    work_per_row: float = 0.0
+    fixed_work: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramStructureError("stage name must be non-empty")
+        if self.work_per_row < 0 or self.fixed_work < 0:
+            raise ProgramStructureError(
+                f"stage {self.name}: work must be non-negative"
+            )
+        object.__setattr__(self, "reads", tuple(self.reads))
+        object.__setattr__(self, "writes", tuple(self.writes))
+
+    @property
+    def touched(self) -> Tuple[str, ...]:
+        """All variables referenced by the stage (reads first, then
+        write-only names), without duplicates."""
+        seen = list(self.reads)
+        for name in self.writes:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def work_seconds(self, rows: int, total_rows: int = 0) -> float:
+        """Ground-truth computation seconds at power 1.0 for ``rows`` of
+        ``total_rows`` global rows at uniform weight (``total_rows`` 0
+        means this node owns everything)."""
+        fraction = rows / total_rows if total_rows else 1.0
+        return self.fixed_work * fraction + self.work_per_row * rows

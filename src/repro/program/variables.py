@@ -1,0 +1,101 @@
+"""Program variables (arrays) and their distribution/access properties.
+
+The paper distributes data one-dimensionally: each *distributed* variable
+is partitioned by rows under a GEN_BLOCK distribution, and a node's share
+is its Local Array (LA).  If the LA does not fit in the node's memory it
+becomes an Out-of-Core Local Array (OCLA) processed in In-Core Local
+Array (ICLA) sized pieces.  *Replicated* variables (read-only inputs,
+whole vectors) live fully in every node's memory.
+
+Read-only variables incur only disk reads; read-write variables are
+written back after each pass ("Any time the node reads data from disk,
+there is a corresponding write to disk if the results ... are stored,
+such as in our Jacobi application.  For the Conjugate Gradient and
+Lanzcos applications, the array is read-only.").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ProgramStructureError
+from repro.util.units import DOUBLE
+
+__all__ = ["Access", "Variable"]
+
+
+class Access(enum.Enum):
+    """How a variable's primary data set is accessed each iteration."""
+
+    READ_ONLY = "read-only"
+    READ_WRITE = "read-write"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One program array.
+
+    Parameters
+    ----------
+    name:
+        Unique variable name within the program.
+    cols:
+        For a distributed variable: elements per distributed row (a row
+        of an ``N x N`` dense matrix has ``cols == N``; a vector
+        distributed by rows has ``cols == 1``).  For CG's sparse matrix
+        this is the *average* stored elements per row — MHETA, like most
+        data-distribution systems, has no per-row sparsity information
+        (paper Section 5.4).
+    distributed:
+        True when the variable is partitioned by the data distribution;
+        False for replicated variables present in full on every node.
+    replicated_elements:
+        Total element count of a replicated variable (ignored when
+        ``distributed``).
+    access:
+        Read-only or read-write (controls whether ICLA passes write back).
+    element_size:
+        Bytes per element (8 for the paper's double-precision data).
+    """
+
+    name: str
+    cols: float = 1.0
+    distributed: bool = True
+    replicated_elements: int = 0
+    access: Access = Access.READ_ONLY
+    element_size: int = DOUBLE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramStructureError("variable name must be non-empty")
+        if self.element_size <= 0:
+            raise ProgramStructureError(
+                f"{self.name}: element_size must be positive"
+            )
+        if self.distributed:
+            if self.cols <= 0:
+                raise ProgramStructureError(
+                    f"{self.name}: distributed variable needs cols > 0"
+                )
+        else:
+            if self.replicated_elements < 0:
+                raise ProgramStructureError(
+                    f"{self.name}: replicated_elements must be >= 0"
+                )
+
+    @property
+    def row_bytes(self) -> float:
+        """Bytes per distributed row (meaningless for replicated vars)."""
+        return self.cols * self.element_size
+
+    def local_bytes(self, rows: int) -> float:
+        """Size of this variable's local array on a node owning ``rows``."""
+        if self.distributed:
+            return rows * self.row_bytes
+        return float(self.replicated_elements * self.element_size)
+
+    @property
+    def writes_back(self) -> bool:
+        """True when out-of-core passes write results back to disk."""
+        return self.access is Access.READ_WRITE

@@ -1,0 +1,34 @@
+"""The adaptive runtime system the paper announces as future work.
+
+Section 6: "we are starting development of our new MPI system that will
+determine the MHETA inputs, use a search algorithm based on MHETA to
+select a distribution (quickly), and then effect that distribution on
+the fly.  In this way we believe that we can provide an infrastructure
+for efficient support of out-of-core parallel programs on heterogeneous
+clusters."
+
+This package implements that system against the emulated cluster:
+
+* :mod:`repro.runtime.redistribution` — the cost of *effecting* a new
+  GEN_BLOCK distribution: every row that changes owner must be read on
+  its old node (from disk, if out of core there), shipped, and written
+  on its new node;
+* :mod:`repro.runtime.adaptive` — the end-to-end
+  :class:`AdaptiveRuntime`: run the first iteration instrumented under
+  the current distribution, build MHETA, search (GBS by default), and
+  redistribute only when the predicted savings over the remaining
+  iterations exceed the redistribution cost.
+"""
+
+from repro.runtime.redistribution import (
+    RedistributionEstimate,
+    RedistributionModel,
+)
+from repro.runtime.adaptive import AdaptiveReport, AdaptiveRuntime
+
+__all__ = [
+    "RedistributionEstimate",
+    "RedistributionModel",
+    "AdaptiveReport",
+    "AdaptiveRuntime",
+]

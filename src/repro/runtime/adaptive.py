@@ -1,0 +1,177 @@
+"""AdaptiveRuntime: instrument, search, redistribute, run.
+
+The end-to-end system of paper Section 6, against the emulated cluster:
+
+1. run the **first iteration instrumented** under the starting
+   distribution (Blk unless told otherwise), paying the measured
+   instrumented-iteration time;
+2. build MHETA from the measurements and **search** for a better
+   distribution (GBS by default; any
+   :class:`~repro.search.base.SearchAlgorithm` works), paying the
+   measured search wall time;
+3. estimate the **redistribution cost** and switch only if it amortises
+   over the remaining iterations;
+4. run the remaining iterations under the chosen distribution.
+
+The report compares the adaptive end-to-end time against (a) staying on
+the starting distribution and (b) the omniscient best — quantifying what
+the paper's proposed infrastructure would buy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.model import MhetaModel
+from repro.distribution.factories import block
+from repro.distribution.genblock import GenBlock
+from repro.instrument.collect import collect_inputs
+from repro.program.structure import ProgramStructure
+from repro.runtime.redistribution import RedistributionModel
+from repro.search.base import SearchAlgorithm
+from repro.search.gbs import GeneralizedBinarySearch
+from repro.sim.executor import ClusterEmulator
+from repro.sim.perturbation import PerturbationConfig
+from repro.util.units import seconds_to_human
+
+__all__ = ["AdaptiveReport", "AdaptiveRuntime"]
+
+
+@dataclass(frozen=True)
+class AdaptiveReport:
+    """Outcome of one adaptive run."""
+
+    start_distribution: GenBlock
+    chosen_distribution: GenBlock
+    switched: bool
+    instrumented_seconds: float  #: measured first (instrumented) iteration
+    search_wall_seconds: float  #: real time spent searching
+    search_evaluations: int
+    redistribution_seconds: float  #: 0 when not switching
+    remaining_seconds: float  #: iterations 2..N under the chosen layout
+    static_seconds: float  #: the whole run under the start distribution
+    predicted_remaining_seconds: float
+
+    @property
+    def adaptive_seconds(self) -> float:
+        """End-to-end adaptive time, everything included."""
+        return (
+            self.instrumented_seconds
+            + self.search_wall_seconds
+            + self.redistribution_seconds
+            + self.remaining_seconds
+        )
+
+    @property
+    def speedup_vs_static(self) -> float:
+        return self.static_seconds / self.adaptive_seconds
+
+    def describe(self) -> str:
+        lines = [
+            "Adaptive runtime report",
+            f"  start distribution : {list(self.start_distribution.counts)}",
+            f"  chosen distribution: {list(self.chosen_distribution.counts)}"
+            + ("" if self.switched else "  (kept start)"),
+            f"  instrumented iter  : {seconds_to_human(self.instrumented_seconds)}",
+            f"  search             : {seconds_to_human(self.search_wall_seconds)} "
+            f"({self.search_evaluations} MHETA evaluations)",
+            f"  redistribution     : {seconds_to_human(self.redistribution_seconds)}",
+            f"  remaining iters    : {seconds_to_human(self.remaining_seconds)} "
+            f"(predicted {seconds_to_human(self.predicted_remaining_seconds)})",
+            f"  adaptive total     : {seconds_to_human(self.adaptive_seconds)}",
+            f"  static total       : {seconds_to_human(self.static_seconds)}",
+            f"  speedup            : {self.speedup_vs_static:.2f}x",
+        ]
+        return "\n".join(lines)
+
+
+class AdaptiveRuntime:
+    """The paper's proposed runtime system, on the emulated cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        program: ProgramStructure,
+        perturbation: Optional[PerturbationConfig] = None,
+        search: Optional[SearchAlgorithm] = None,
+        search_budget: int = 120,
+        safety_factor: float = 1.2,
+    ) -> None:
+        self.cluster = cluster
+        self.program = program
+        self.perturbation = perturbation
+        self._search = search
+        self.search_budget = search_budget
+        self.safety_factor = safety_factor
+
+    def run(self, start: Optional[GenBlock] = None) -> AdaptiveReport:
+        """Execute the full adaptive protocol and report."""
+        program = self.program
+        if start is None:
+            start = block(self.cluster, program.n_rows)
+        emulator = ClusterEmulator(self.cluster, program, self.perturbation)
+
+        # 1. Instrumented first iteration (slower than a plain one: the
+        # forced I/O and blocking prefetches are part of the price).
+        instrumented_run = emulator.run(start, instrumented=True, iterations=1)
+        inputs = collect_inputs(
+            self.cluster,
+            program,
+            start,
+            perturbation=self.perturbation,
+        )
+        instrumented_seconds = instrumented_run.total_seconds
+
+        # 2. Search with MHETA.
+        model = MhetaModel(program, self.cluster, inputs)
+        search = self._search or GeneralizedBinarySearch(model, self.cluster)
+        wall_start = time.perf_counter()
+        result = search.search(budget=self.search_budget, start=start)
+        search_wall = time.perf_counter() - wall_start
+
+        remaining = max(program.iterations - 1, 0)
+        predicted_start = model.predict_seconds(start, iterations=remaining)
+        predicted_best = model.predict_seconds(result.best, iterations=remaining)
+        per_iteration_savings = (
+            (predicted_start - predicted_best) / remaining if remaining else 0.0
+        )
+
+        # 3. Amortisation decision.
+        redistributor = RedistributionModel(self.cluster, program)
+        switch = result.best != start and redistributor.worth_switching(
+            start,
+            result.best,
+            per_iteration_savings,
+            remaining,
+            safety_factor=self.safety_factor,
+        )
+        chosen = result.best if switch else start
+        redistribution_seconds = (
+            redistributor.estimate(start, chosen).seconds if switch else 0.0
+        )
+
+        # 4. Remaining iterations under the chosen distribution.
+        remaining_seconds = (
+            emulator.run(chosen, iterations=remaining).total_seconds
+            if remaining
+            else 0.0
+        )
+
+        # Baseline: the whole job statically on the start distribution.
+        static_seconds = emulator.run(start).total_seconds
+
+        return AdaptiveReport(
+            start_distribution=start,
+            chosen_distribution=chosen,
+            switched=switch,
+            instrumented_seconds=instrumented_seconds,
+            search_wall_seconds=search_wall,
+            search_evaluations=result.evaluations,
+            redistribution_seconds=redistribution_seconds,
+            remaining_seconds=remaining_seconds,
+            static_seconds=static_seconds,
+            predicted_remaining_seconds=predicted_best,
+        )

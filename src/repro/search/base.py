@@ -1,0 +1,165 @@
+"""Common search machinery: evaluation cache, result record, base class."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import MhetaModel
+from repro.distribution.genblock import GenBlock, largest_remainder_round
+from repro.exceptions import SearchError
+from repro.util.rng import stream
+
+__all__ = ["EvaluationCache", "SearchResult", "SearchAlgorithm"]
+
+
+class EvaluationCache:
+    """Memoised MHETA evaluations.
+
+    Search algorithms revisit distributions constantly (GBS re-evaluates
+    interval endpoints, genetic populations converge); caching keeps the
+    evaluation count equal to the number of *distinct* candidates.
+    """
+
+    def __init__(self, evaluate: Callable[[GenBlock], float]) -> None:
+        self._evaluate = evaluate
+        self._cache: Dict[Tuple[int, ...], float] = {}
+        self.misses = 0
+        self.hits = 0
+
+    def __call__(self, distribution: GenBlock) -> float:
+        key = distribution.counts
+        value = self._cache.get(key)
+        if value is None:
+            value = self._evaluate(distribution)
+            self._cache[key] = value
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    @property
+    def evaluations(self) -> int:
+        """Distinct model evaluations performed."""
+        return self.misses
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a distribution search."""
+
+    best: GenBlock
+    predicted_seconds: float
+    evaluations: int  #: distinct MHETA evaluations spent
+    trajectory: Tuple[float, ...] = field(default_factory=tuple)
+    algorithm: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: {self.predicted_seconds:.3f}s predicted with "
+            f"{list(self.best.counts)} after {self.evaluations} evaluations"
+        )
+
+
+class SearchAlgorithm(abc.ABC):
+    """Base class: minimise predicted execution time over GEN_BLOCK
+    distributions of ``model.program.n_rows`` rows.
+
+    Subclasses implement :meth:`_run` against the shared evaluation
+    cache.  Every node always keeps at least one row (the paper's system
+    uses every processor).
+    """
+
+    name = "search"
+
+    def __init__(self, model: MhetaModel, seed_label: str = "") -> None:
+        self.model = model
+        self.n_rows = model.program.n_rows
+        self.n_nodes = model.n_nodes
+        if self.n_rows < self.n_nodes:
+            raise SearchError("fewer rows than nodes")
+        self._seed_label = seed_label or self.name
+
+    # -- helpers shared by concrete searches ---------------------------------
+
+    def _rng(self) -> np.random.Generator:
+        return stream(
+            "search",
+            self._seed_label,
+            self.model.program.name,
+            self.n_rows,
+            self.n_nodes,
+        )
+
+    def _normalise(self, shares: np.ndarray) -> GenBlock:
+        """Round non-negative shares to a valid distribution (sum and
+        minimum-1 preserved)."""
+        return GenBlock(
+            largest_remainder_round(
+                np.maximum(np.asarray(shares, dtype=float), 0.0),
+                self.n_rows,
+                minimum=1,
+            )
+        )
+
+    def _random_distribution(self, rng: np.random.Generator) -> GenBlock:
+        shares = rng.dirichlet(np.ones(self.n_nodes))
+        return self._normalise(shares * self.n_rows)
+
+    # -- public API ------------------------------------------------------------
+
+    def search(
+        self, budget: int = 200, start: Optional[GenBlock] = None
+    ) -> SearchResult:
+        """Run the search with at most ``budget`` distinct evaluations."""
+        if budget < 1:
+            raise SearchError("budget must be >= 1")
+        cache = EvaluationCache(self.model.predict_seconds)
+        trajectory: List[float] = []
+
+        def evaluate(dist: GenBlock) -> float:
+            if cache.evaluations >= budget and dist.counts not in cache._cache:
+                raise _BudgetExhausted()
+            value = cache(dist)
+            if not trajectory or value < trajectory[-1]:
+                trajectory.append(value)
+            else:
+                trajectory.append(trajectory[-1])
+            return value
+
+        best: Optional[GenBlock] = None
+        try:
+            best = self._run(evaluate, start)
+        except _BudgetExhausted:
+            pass
+        # The best seen so far, even if the algorithm was cut short.
+        if cache._cache:
+            key = min(cache._cache, key=cache._cache.get)
+            candidate = GenBlock(key)
+            if best is None or cache._cache[key] <= cache(best):
+                best = candidate
+        if best is None:
+            raise SearchError("search performed no evaluations")
+        return SearchResult(
+            best=best,
+            predicted_seconds=cache(best),
+            evaluations=cache.evaluations,
+            trajectory=tuple(trajectory),
+            algorithm=self.name,
+        )
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        evaluate: Callable[[GenBlock], float],
+        start: Optional[GenBlock],
+    ) -> GenBlock:
+        """Run the strategy; return its final answer.  ``evaluate``
+        raises once the budget is exhausted."""
+
+
+class _BudgetExhausted(Exception):
+    pass

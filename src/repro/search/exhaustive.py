@@ -1,0 +1,51 @@
+"""Exhaustive sweep along the Figure-8 spectrum.
+
+Not a search heuristic: the reference evaluation the figures use.  It
+scores every spectrum point with MHETA and returns the best, giving the
+other algorithms something to be compared against (and the experiments
+their x axes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.model import MhetaModel
+from repro.distribution.genblock import GenBlock
+from repro.distribution.spectrum import spectrum
+from repro.search.base import SearchAlgorithm
+
+__all__ = ["SpectrumSweep"]
+
+
+class SpectrumSweep(SearchAlgorithm):
+    """Evaluate every point of the interpolated anchor path."""
+
+    name = "spectrum-sweep"
+
+    def __init__(
+        self,
+        model: MhetaModel,
+        cluster: ClusterSpec,
+        steps_per_leg: int = 8,
+    ) -> None:
+        super().__init__(model)
+        self.cluster = cluster
+        self.steps_per_leg = steps_per_leg
+
+    def _run(
+        self,
+        evaluate: Callable[[GenBlock], float],
+        start: Optional[GenBlock],
+    ) -> GenBlock:
+        best: Optional[GenBlock] = start
+        best_val = evaluate(start) if start is not None else float("inf")
+        for point in spectrum(
+            self.cluster, self.model.program, self.steps_per_leg
+        ):
+            value = evaluate(point.distribution)
+            if value < best_val:
+                best, best_val = point.distribution, value
+        assert best is not None
+        return best

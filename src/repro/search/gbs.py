@@ -1,0 +1,140 @@
+"""Generalized Binary Search (GBS) — reconstruction of [26].
+
+The companion paper's text is unavailable; this reconstruction keeps the
+two properties the MHETA paper relies on: (1) the search walks the
+spectrum of Figure 8 ("an algorithm searching for a data distribution
+between I-C and I-C/Bal can use MHETA to determine which point results
+in the lowest execution time"), and (2) it needs few evaluations because
+each is cheap.
+
+Strategy: along every leg of the anchor path Blk -> I-C -> I-C/Bal ->
+Bal, binary-search the interpolation parameter — evaluate the midpoint
+of the current interval and its two neighbours, recurse into the half
+whose inner sample is smaller (valid under the near-unimodality the
+execution time exhibits along each leg), then finish with a
+row-exchange hill climb between the predicted bottleneck node and the
+node with the most slack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.model import MhetaModel
+from repro.distribution.factories import balanced, block, in_core, in_core_balanced
+from repro.distribution.genblock import GenBlock
+from repro.distribution.spectrum import has_memory_pressure, interpolate
+from repro.search.base import SearchAlgorithm
+
+__all__ = ["GeneralizedBinarySearch"]
+
+
+class GeneralizedBinarySearch(SearchAlgorithm):
+    """Binary search along the anchor legs plus a local hill climb."""
+
+    name = "gbs"
+
+    def __init__(
+        self,
+        model: MhetaModel,
+        cluster: ClusterSpec,
+        resolution: float = 1.0 / 64.0,
+        hill_climb_steps: int = 24,
+    ) -> None:
+        super().__init__(model)
+        self.cluster = cluster
+        self.resolution = resolution
+        self.hill_climb_steps = hill_climb_steps
+
+    # -- anchors ---------------------------------------------------------------
+
+    def _anchors(self) -> List[GenBlock]:
+        program = self.model.program
+        anchors = [block(self.cluster, self.n_rows)]
+        if has_memory_pressure(self.cluster, program):
+            anchors.append(in_core(self.cluster, program))
+            if not self.cluster.is_cpu_homogeneous:
+                anchors.append(in_core_balanced(self.cluster, program))
+        if not self.cluster.is_cpu_homogeneous:
+            anchors.append(balanced(self.cluster, self.n_rows))
+        return anchors
+
+    # -- the search --------------------------------------------------------------
+
+    def _leg_search(
+        self,
+        evaluate: Callable[[GenBlock], float],
+        a: GenBlock,
+        b: GenBlock,
+    ) -> Tuple[GenBlock, float]:
+        """Binary search the interpolation parameter on one leg."""
+        lo, hi = 0.0, 1.0
+        best_dist = a
+        best_val = evaluate(a)
+        vb = evaluate(b)
+        if vb < best_val:
+            best_dist, best_val = b, vb
+        while hi - lo > self.resolution:
+            mid = 0.5 * (lo + hi)
+            quarter = 0.25 * (hi - lo)
+            left = interpolate(a, b, mid - quarter)
+            right = interpolate(a, b, mid + quarter)
+            vl, vr = evaluate(left), evaluate(right)
+            if vl < best_val:
+                best_dist, best_val = left, vl
+            if vr < best_val:
+                best_dist, best_val = right, vr
+            if vl <= vr:
+                hi = mid
+            else:
+                lo = mid
+        return best_dist, best_val
+
+    def _hill_climb(
+        self,
+        evaluate: Callable[[GenBlock], float],
+        start: GenBlock,
+    ) -> GenBlock:
+        """Move rows from the predicted bottleneck node to the node whose
+        predicted time is lowest, shrinking the step on failure."""
+        current = start
+        value = evaluate(current)
+        step = max(self.n_rows // 64, 1)
+        for _ in range(self.hill_climb_steps):
+            report = self.model.predict(current)
+            totals = [n.total_seconds for n in report.nodes]
+            src = int(np.argmax(totals))
+            dst = int(np.argmin(totals))
+            if src == dst or current[src] - step < 1:
+                step = max(step // 2, 1)
+                if step == 1 and current[src] <= 1:
+                    break
+                continue
+            candidate = current.moved(src, dst, step)
+            cand_val = evaluate(candidate)
+            if cand_val < value:
+                current, value = candidate, cand_val
+            else:
+                if step == 1:
+                    break
+                step = max(step // 2, 1)
+        return current
+
+    def _run(
+        self,
+        evaluate: Callable[[GenBlock], float],
+        start: Optional[GenBlock],
+    ) -> GenBlock:
+        anchors = self._anchors()
+        best: Optional[GenBlock] = start
+        best_val = evaluate(start) if start is not None else float("inf")
+        for a, b in zip(anchors, anchors[1:]):
+            dist, val = self._leg_search(evaluate, a, b)
+            if val < best_val:
+                best, best_val = dist, val
+        if best is None:
+            best = anchors[0]
+        return self._hill_climb(evaluate, best)

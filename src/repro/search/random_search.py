@@ -1,0 +1,38 @@
+"""Pure random distribution search (the baseline of [26])."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.model import MhetaModel
+from repro.distribution.genblock import GenBlock
+from repro.search.base import SearchAlgorithm
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(SearchAlgorithm):
+    """Sample Dirichlet share vectors uniformly; keep the best."""
+
+    name = "random"
+
+    def __init__(self, model: MhetaModel, samples: int = 100) -> None:
+        super().__init__(model)
+        self.samples = samples
+
+    def _run(
+        self,
+        evaluate: Callable[[GenBlock], float],
+        start: Optional[GenBlock],
+    ) -> GenBlock:
+        rng = self._rng()
+        best: Optional[GenBlock] = start
+        best_val = evaluate(start) if start is not None else float("inf")
+        for _sample in range(self.samples):
+            candidate = self._random_distribution(rng)
+            value = evaluate(candidate)
+            if value < best_val:
+                best, best_val = candidate, value
+        if best is None:  # pragma: no cover - samples >= 1 always evaluates
+            best = self._random_distribution(rng)
+        return best

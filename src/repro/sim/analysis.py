@@ -1,0 +1,168 @@
+"""Trace analysis: where did the time go?
+
+Given a :class:`~repro.sim.trace.TraceCollector` from an emulated run,
+these helpers compute per-node time breakdowns (compute / read / write /
+send / receive-wait / idle), per-variable I/O volumes, and a textual
+per-node utilisation report — the evidence one needs to understand *why*
+a distribution is slow, and the emulator-side counterpart of MHETA's
+per-component prediction breakdown.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.executor import RunResult
+from repro.sim.trace import Op, TraceCollector
+from repro.util.tables import render_table
+
+__all__ = ["NodeBreakdown", "RunAnalysis", "analyse_run"]
+
+#: Operations whose duration is CPU/disk busy time attributable to the
+#: category named.
+_BUSY_OPS = {
+    Op.COMPUTE: "compute",
+    Op.READ: "read",
+    Op.WRITE: "write",
+    Op.SEND: "send",
+    Op.PREFETCH_WAIT: "prefetch_wait",
+}
+
+
+@dataclass(frozen=True)
+class NodeBreakdown:
+    """One node's time composition over a run."""
+
+    node: int
+    total_seconds: float
+    compute_seconds: float
+    read_seconds: float
+    write_seconds: float
+    send_seconds: float
+    recv_seconds: float  #: blocked in receives (incl. overhead)
+    prefetch_wait_seconds: float
+    idle_seconds: float  #: anything unaccounted (collective skew, queueing)
+
+    @property
+    def io_seconds(self) -> float:
+        return self.read_seconds + self.write_seconds + self.prefetch_wait_seconds
+
+    @property
+    def busy_fraction(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.compute_seconds / self.total_seconds
+
+
+@dataclass(frozen=True)
+class RunAnalysis:
+    """Breakdown of a whole emulated run."""
+
+    nodes: Tuple[NodeBreakdown, ...]
+    io_bytes_by_variable: Dict[str, float]
+
+    @property
+    def bottleneck(self) -> NodeBreakdown:
+        """The node carrying the most load (compute + I/O).  Collectives
+        synchronise finish times, so the *loaded* node — not the one that
+        happens to exit the last broadcast latest — is the useful notion
+        of bottleneck."""
+        return max(self.nodes, key=lambda n: n.compute_seconds + n.io_seconds)
+
+    @property
+    def mean_compute_utilisation(self) -> float:
+        return sum(n.busy_fraction for n in self.nodes) / len(self.nodes)
+
+    @property
+    def imbalance(self) -> float:
+        """Bottleneck compute time over mean compute time (1.0 = perfectly
+        balanced computation)."""
+        computes = [n.compute_seconds for n in self.nodes]
+        mean = sum(computes) / len(computes)
+        return max(computes) / mean if mean > 0 else 1.0
+
+    def describe(self) -> str:
+        rows = []
+        for n in self.nodes:
+            rows.append(
+                [
+                    n.node,
+                    n.total_seconds,
+                    n.compute_seconds,
+                    n.io_seconds,
+                    n.recv_seconds,
+                    n.idle_seconds,
+                    f"{n.busy_fraction:.0%}",
+                ]
+            )
+        table = render_table(
+            ["node", "total", "compute", "io", "recv-wait", "idle", "util"],
+            rows,
+            float_fmt=".3f",
+            title=(
+                f"Run analysis: bottleneck node {self.bottleneck.node}, "
+                f"compute imbalance {self.imbalance:.2f}x, mean "
+                f"utilisation {self.mean_compute_utilisation:.0%}"
+            ),
+        )
+        if self.io_bytes_by_variable:
+            io_rows = [
+                [name, nbytes / 2**20]
+                for name, nbytes in sorted(self.io_bytes_by_variable.items())
+            ]
+            table += "\n" + render_table(
+                ["variable", "I/O MiB"], io_rows, float_fmt=".1f"
+            )
+        return table
+
+
+def analyse_run(trace: TraceCollector, result: RunResult) -> RunAnalysis:
+    """Aggregate a run's trace into per-node breakdowns.
+
+    ``idle`` is the residual: the node's finish time minus every
+    accounted duration — time spent blocked in collectives behind other
+    nodes, or waiting on the disk queue.
+    """
+    n_nodes = len(result.per_node_seconds)
+    busy: Dict[int, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    recv: Dict[int, float] = defaultdict(float)
+    io_bytes: Dict[str, float] = defaultdict(float)
+
+    for record in trace.records:
+        if record.op in _BUSY_OPS:
+            busy[record.node][_BUSY_OPS[record.op]] += record.duration
+            if record.op in (Op.READ, Op.WRITE) and record.variable:
+                io_bytes[record.variable] += record.nbytes
+        elif record.op == Op.RECV:
+            recv[record.node] += record.duration
+
+    nodes: List[NodeBreakdown] = []
+    for node in range(n_nodes):
+        total = result.per_node_seconds[node]
+        b = busy[node]
+        accounted = (
+            b["compute"]
+            + b["read"]
+            + b["write"]
+            + b["send"]
+            + b["prefetch_wait"]
+            + recv[node]
+        )
+        nodes.append(
+            NodeBreakdown(
+                node=node,
+                total_seconds=total,
+                compute_seconds=b["compute"],
+                read_seconds=b["read"],
+                write_seconds=b["write"],
+                send_seconds=b["send"],
+                recv_seconds=recv[node],
+                prefetch_wait_seconds=b["prefetch_wait"],
+                idle_seconds=max(total - accounted, 0.0),
+            )
+        )
+    return RunAnalysis(
+        nodes=tuple(nodes), io_bytes_by_variable=dict(io_bytes)
+    )

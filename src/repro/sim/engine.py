@@ -1,0 +1,246 @@
+"""A minimal generator-based discrete-event engine.
+
+Processes are Python generators that ``yield`` request objects:
+
+* :class:`Delay`  — advance this process's clock by ``seconds``;
+* :class:`Send`   — deposit a message for ``(dst, tag)``; the message is
+  *delivered* after the in-flight transfer time, but the sender resumes
+  immediately (send overhead is charged by the caller as a Delay);
+* :class:`Recv`   — block until a matching message has been delivered,
+  then resume with the message payload;
+* :class:`Spawn`  — start a new process (used for asynchronous I/O).
+
+Every resume sends the process its current simulation time, so helper
+sub-generators can track ``now`` without global state.  The engine is
+deterministic: ties in the event heap break by insertion sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import inspect
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Delay", "Send", "Recv", "Spawn", "Engine"]
+
+Process = Generator[Any, float, None]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Advance the yielding process by ``seconds`` of simulated time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0 or self.seconds != self.seconds:  # NaN guard
+            raise SimulationError(f"invalid delay: {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Deposit a message.
+
+    ``transfer`` is the in-flight time: the message becomes available to
+    the receiver at ``now + transfer``.  ``payload`` is handed to the
+    matching :class:`Recv`.
+    """
+
+    dst: int
+    tag: str
+    transfer: float = 0.0
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.transfer < 0:
+            raise SimulationError(f"negative transfer time: {self.transfer}")
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until a message from ``src`` with ``tag`` is delivered."""
+
+    src: int
+    tag: str
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """Start ``process`` as a sibling at the current time."""
+
+    process: Process
+
+
+@dataclass
+class _Mailbox:
+    """Messages delivered (or in flight) for one (dst, src, tag) channel."""
+
+    queue: Deque[Tuple[float, Any]] = field(default_factory=deque)
+    waiter: Optional[int] = None  # pid blocked on this channel
+
+
+class Engine:
+    """Run a set of processes to completion and report the end time.
+
+    Parameters
+    ----------
+    trace_hook:
+        Optional callable ``(time, pid, request)`` invoked for every
+        request the engine dispatches; used by tests and debugging.
+    """
+
+    def __init__(self, trace_hook=None) -> None:
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._procs: Dict[int, Process] = {}
+        self._mail: Dict[Tuple[int, int, str], _Mailbox] = {}
+        self._pid_node: Dict[int, int] = {}
+        self._finish_times: Dict[int, float] = {}
+        self._next_pid = 0
+        self._trace_hook = trace_hook
+        self.now = 0.0
+
+    # -- setup ---------------------------------------------------------------
+
+    def add_process(self, process: Process, node: int, start: float = 0.0) -> int:
+        """Register ``process`` as belonging to ``node``; it starts at
+        ``start`` seconds.  Returns the process id."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self._procs[pid] = process
+        self._pid_node[pid] = node
+        self._push(start, pid)
+        return pid
+
+    def _push(self, time: float, pid: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, pid, None))
+
+    def _push_with_value(self, time: float, pid: int, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, pid, value))
+
+    # -- mailboxes -----------------------------------------------------------
+
+    def _box(self, dst: int, src: int, tag: str) -> _Mailbox:
+        key = (dst, src, tag)
+        box = self._mail.get(key)
+        if box is None:
+            box = _Mailbox()
+            self._mail[key] = box
+        return box
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> float:
+        """Dispatch until every process finishes.  Returns the latest
+        finish time.  Raises :class:`SimulationError` on deadlock (blocked
+        receivers with an empty event heap)."""
+        while self._heap:
+            time, _, pid, value = heapq.heappop(self._heap)
+            if time < self.now - 1e-12:
+                raise SimulationError("time went backwards (engine bug)")
+            self.now = max(self.now, time)
+            proc = self._procs.get(pid)
+            if proc is None:
+                continue
+            self._advance(pid, proc, time, value)
+        blocked = [
+            key for key, box in self._mail.items() if box.waiter is not None
+        ]
+        if blocked:
+            detail = ", ".join(
+                f"node{dst}<-node{src}:{tag}" for dst, src, tag in blocked[:5]
+            )
+            raise SimulationError(f"deadlock: receivers blocked on {detail}")
+        if not self._finish_times:
+            return 0.0
+        return max(self._finish_times.values())
+
+    def _advance(self, pid: int, proc: Process, time: float, value: Any) -> None:
+        """Resume ``proc`` at ``time``, dispatching requests until it
+        blocks or finishes."""
+        send_value: Any = time if value is None else value
+        started = inspect.getgeneratorstate(proc) is not inspect.GEN_CREATED
+        while True:
+            try:
+                if not started:
+                    request = next(proc)
+                    started = True
+                else:
+                    request = proc.send(send_value)
+            except StopIteration:
+                del self._procs[pid]
+                self._finish_times[pid] = time
+                return
+            if self._trace_hook is not None:
+                self._trace_hook(time, pid, request)
+            if isinstance(request, Delay):
+                if request.seconds == 0.0:
+                    send_value = time
+                    continue
+                self._push(time + request.seconds, pid)
+                return
+            if isinstance(request, Send):
+                node = self._pid_node[pid]
+                box = self._box(request.dst, node, request.tag)
+                deliver = time + request.transfer
+                box.queue.append((deliver, request.payload))
+                if box.waiter is not None:
+                    waiter = box.waiter
+                    box.waiter = None
+                    d, payload = box.queue.popleft()
+                    self._push_with_value(
+                        max(d, time), waiter, _RecvResult(max(d, time), payload)
+                    )
+                send_value = time
+                continue
+            if isinstance(request, Recv):
+                node = self._pid_node[pid]
+                box = self._box(node, request.src, request.tag)
+                if box.queue:
+                    deliver, payload = box.queue.popleft()
+                    if deliver <= time:
+                        send_value = _RecvResult(time, payload)
+                        continue
+                    self._push_with_value(
+                        deliver, pid, _RecvResult(deliver, payload)
+                    )
+                    return
+                if box.waiter is not None:
+                    raise SimulationError(
+                        f"two processes receiving on node{node}"
+                        f"<-node{request.src}:{request.tag}"
+                    )
+                box.waiter = pid
+                return
+            if isinstance(request, Spawn):
+                self.add_process(request.process, self._pid_node[pid], time)
+                send_value = time
+                continue
+            raise SimulationError(f"unknown request: {request!r}")
+
+
+@dataclass(frozen=True)
+class _RecvResult:
+    """Value sent into a process resuming from a Recv: the current time
+    plus the message payload.  Exposed via float conversion so helpers
+    that only need the time can treat it like the plain-time resume."""
+
+    time: float
+    payload: Any
+
+    def __float__(self) -> float:
+        return self.time
+
+
+def run_processes(processes: Iterable[Tuple[int, Process]]) -> float:
+    """Convenience: run ``(node, process)`` pairs to completion."""
+    engine = Engine()
+    for node, proc in processes:
+        engine.add_process(proc, node)
+    return engine.run()

@@ -1,0 +1,611 @@
+"""Execute a program under a distribution on an emulated cluster.
+
+One generator process per node runs the program's parallel sections
+iteration by iteration: stages stream out-of-core variables through the
+node's disk in ICLA-sized blocks (synchronously or with one-block-ahead
+prefetching), and sections close with the emulated communication pattern
+(boundary exchange, pipeline, binomial-tree allreduce, ring allgather).
+
+The emulator is the reproduction's stand-in for the paper's real
+cluster: its output is the "Actual" series of Figures 9-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+from repro.distribution.genblock import GenBlock
+from repro.exceptions import SimulationError
+from repro.placement import MemoryPlan
+from repro.program.sections import CommPattern
+from repro.program.stages import Stage
+from repro.program.structure import ProgramStructure
+from repro.sim.disk import DiskModel
+from repro.sim.engine import Delay, Engine, Recv, Send
+from repro.sim.memory import emulator_plan, plan_memory
+from repro.sim.perturbation import PerturbationConfig, PerturbationModel
+from repro.sim.trace import EventRecord, Observer, Op
+
+__all__ = ["ClusterEmulator", "RunResult"]
+
+#: CPU cost of issuing one asynchronous read (system-call overhead).
+PREFETCH_ISSUE_OVERHEAD = 20e-6
+
+
+def _tile_bounds(start: int, stop: int, tiles: int, tile: int) -> Tuple[int, int]:
+    """Rows of ``[start, stop)`` handled by ``tile`` (even partition)."""
+    count = stop - start
+    lo = start + (count * tile) // tiles
+    hi = start + (count * (tile + 1)) // tiles
+    return lo, hi
+
+
+@dataclass
+class RunResult:
+    """Outcome of one emulated run."""
+
+    total_seconds: float  #: wall time of the timed iterations, whole job
+    per_node_seconds: List[float]  #: each node's own finish time
+    iteration_ends: List[List[float]]  #: [node][iteration] completion time
+    distribution: GenBlock
+    iterations: int
+
+    @property
+    def mean_iteration_seconds(self) -> float:
+        return self.total_seconds / max(self.iterations, 1)
+
+    def iteration_durations(self, node: int) -> List[float]:
+        """Per-iteration durations for ``node``."""
+        ends = self.iteration_ends[node]
+        outs = []
+        prev = 0.0
+        for e in ends:
+            outs.append(e - prev)
+            prev = e
+        return outs
+
+
+class _NodeCtx:
+    """Per-node mutable execution state and generator helpers."""
+
+    __slots__ = (
+        "rank",
+        "spec",
+        "net",
+        "disk",
+        "plan",
+        "now",
+        "observer",
+        "perturb",
+        "replicated_bytes",
+        "iteration_ends",
+    )
+
+    def __init__(self, rank, spec, net, disk, plan, observer, perturb, replicated):
+        self.rank = rank
+        self.spec = spec
+        self.net = net
+        self.disk = disk
+        self.plan: MemoryPlan = plan
+        self.now = 0.0
+        self.observer: Optional[Observer] = observer
+        self.perturb: PerturbationModel = perturb
+        self.replicated_bytes = replicated
+        self.iteration_ends: List[float] = []
+
+    # -- tracing -----------------------------------------------------------
+
+    def observe(self, op, it, section, tile, stage, variable, start, nbytes=0.0, rows=0):
+        if self.observer is not None:
+            self.observer(
+                EventRecord(
+                    op=op,
+                    node=self.rank,
+                    iteration=it,
+                    section=section,
+                    tile=tile,
+                    stage=stage,
+                    variable=variable,
+                    start=start,
+                    end=self.now,
+                    nbytes=nbytes,
+                    rows=rows,
+                )
+            )
+
+    # -- primitive generators -------------------------------------------------
+
+    def cpu(self, seconds):
+        if seconds > 0.0:
+            self.now = float((yield Delay(seconds)))
+
+    def sync_read(self, var, nbytes, it, section, tile, stage, rows=0):
+        start = self.now
+        op = self.disk.submit_read(self.now, var, nbytes)
+        yield from self.cpu(op.done - self.now)
+        self.observe(Op.READ, it, section, tile, stage, var, start, nbytes, rows)
+
+    def sync_write(self, var, nbytes, it, section, tile, stage, rows=0):
+        start = self.now
+        op = self.disk.submit_write(self.now, var, nbytes)
+        yield from self.cpu(op.done - self.now)
+        self.observe(Op.WRITE, it, section, tile, stage, var, start, nbytes, rows)
+
+    def compute(self, seconds, it, section, tile, stage):
+        start = self.now
+        yield from self.cpu(seconds)
+        self.observe(Op.COMPUTE, it, section, tile, stage, None, start)
+
+    def send_msg(self, dst, tag, nbytes, it, section, disk_source=None):
+        # Materialise the message from disk when it lives in an
+        # out-of-core array on this node (paper Section 4.2.2).
+        if disk_source is not None:
+            yield from self.sync_read(
+                disk_source, nbytes, it, section, 0, None
+            )
+        start = self.now
+        yield from self.cpu(self.net.send_overhead)
+        yield Send(dst, tag, transfer=self.net.transfer_seconds(nbytes))
+        self.observe(Op.SEND, it, section, 0, None, None, start, nbytes)
+
+    def recv_msg(self, src, tag, it, section):
+        start = self.now
+        result = yield Recv(src, tag)
+        self.now = float(result)
+        yield from self.cpu(self.net.recv_overhead)
+        self.observe(Op.RECV, it, section, 0, None, None, start)
+
+
+class ClusterEmulator:
+    """Emulate ``program`` on ``cluster``.
+
+    Parameters
+    ----------
+    cluster, program:
+        What to run and where.
+    perturbation:
+        Ground-truth effect configuration; defaults to all effects on
+        (the honest emulator).  :meth:`PerturbationConfig.none` yields an
+        idealised machine that matches MHETA's assumptions exactly.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        program: ProgramStructure,
+        perturbation: Optional[PerturbationConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.program = program
+        self.perturbation = (
+            perturbation if perturbation is not None else PerturbationConfig()
+        )
+
+    # -- public API ------------------------------------------------------------
+
+    def run(
+        self,
+        distribution: GenBlock,
+        *,
+        observer: Optional[Observer] = None,
+        instrumented: bool = False,
+        iterations: Optional[int] = None,
+    ) -> RunResult:
+        """Run the program and return timing.
+
+        ``instrumented`` reproduces the paper's instrumented iteration:
+        every distributed variable is forced out of core so its I/O
+        latencies can be measured, and prefetch issues become blocking
+        reads with no-op waits (paper Figure 5).  ``iterations``
+        overrides the program's iteration count (the instrumented run
+        uses 1).
+        """
+        if distribution.n_nodes != self.cluster.n_nodes:
+            raise SimulationError(
+                f"distribution has {distribution.n_nodes} blocks for "
+                f"{self.cluster.n_nodes} nodes"
+            )
+        if distribution.n_rows != self.program.n_rows:
+            raise SimulationError(
+                f"distribution covers {distribution.n_rows} rows, program "
+                f"has {self.program.n_rows}"
+            )
+        n_iter = iterations if iterations is not None else self.program.iterations
+
+        engine = Engine()
+        contexts = self._make_contexts(distribution, observer, instrumented)
+        for ctx in contexts:
+            engine.add_process(
+                self._node_process(ctx, contexts, distribution, n_iter, instrumented),
+                node=ctx.rank,
+            )
+        total = engine.run()
+        return RunResult(
+            total_seconds=total,
+            per_node_seconds=[
+                ctx.iteration_ends[-1] if ctx.iteration_ends else 0.0
+                for ctx in contexts
+            ],
+            iteration_ends=[list(ctx.iteration_ends) for ctx in contexts],
+            distribution=distribution,
+            iterations=n_iter,
+        )
+
+    # -- setup -------------------------------------------------------------------
+
+    def _make_contexts(
+        self,
+        distribution: GenBlock,
+        observer: Optional[Observer],
+        instrumented: bool,
+    ) -> List[_NodeCtx]:
+        program = self.program
+        contexts: List[_NodeCtx] = []
+        use_overhead = self.perturbation.runtime_overhead
+        for rank, spec in enumerate(self.cluster.nodes):
+            rows = distribution[rank]
+            if use_overhead:
+                plan = emulator_plan(
+                    spec, program, rows, forced_out_of_core=instrumented
+                )
+            else:
+                plan = plan_memory(
+                    program,
+                    rows,
+                    spec.memory_bytes,
+                    forced_out_of_core=instrumented,
+                )
+            resident = plan.resident_bytes + program.replicated_bytes
+            disk = DiskModel(
+                spec,
+                resident_bytes=resident,
+                cache_enabled=self.perturbation.os_read_cache,
+            )
+            for name, placement in plan.placements.items():
+                if not placement.in_core:
+                    disk.register_variable(name, placement.ocla_bytes)
+            perturb = PerturbationModel(
+                self.perturbation,
+                run_labels=(
+                    self.cluster.name,
+                    program.name,
+                    "x".join(map(str, distribution.counts)),
+                    rank,
+                    "instr" if instrumented else "run",
+                ),
+            )
+            contexts.append(
+                _NodeCtx(
+                    rank,
+                    spec,
+                    self.cluster.network,
+                    disk,
+                    plan,
+                    observer,
+                    perturb,
+                    program.replicated_bytes,
+                )
+            )
+        return contexts
+
+    # -- node program ---------------------------------------------------------------
+
+    def _node_process(self, ctx, contexts, distribution, n_iter, instrumented):
+        program = self.program
+        for it in range(n_iter):
+            for si, section in enumerate(program.sections):
+                yield from self._run_section(
+                    ctx, distribution, it, si, section, instrumented
+                )
+            ctx.iteration_ends.append(ctx.now)
+            ctx.observe(
+                Op.ITERATION_END, it, "", 0, None, None, ctx.now
+            )
+
+    def _run_section(self, ctx, distribution, it, si, section, instrumented):
+        pattern = section.comm.pattern
+        rank = ctx.rank
+        P = self.cluster.n_nodes
+
+        if pattern is CommPattern.PIPELINE and P > 1:
+            nbytes = section.comm.message_bytes
+            for tile in range(section.tiles):
+                if rank > 0:
+                    yield from ctx.recv_msg(
+                        rank - 1, f"{it}:{si}:pipe:{tile}", it, section.name
+                    )
+                yield from self._run_stages(
+                    ctx, distribution, it, si, section, tile, instrumented
+                )
+                if rank < P - 1:
+                    yield from ctx.send_msg(
+                        rank + 1,
+                        f"{it}:{si}:pipe:{tile}",
+                        nbytes,
+                        it,
+                        section.name,
+                    )
+            return
+
+        for tile in range(section.tiles):
+            yield from self._run_stages(
+                ctx, distribution, it, si, section, tile, instrumented
+            )
+
+        if P == 1 or pattern is CommPattern.NONE:
+            return
+        if pattern is CommPattern.NEAREST_NEIGHBOR:
+            yield from self._nearest_neighbor(ctx, it, si, section)
+        elif pattern is CommPattern.REDUCTION:
+            yield from self._reduce_bcast(ctx, it, si, section)
+        elif pattern is CommPattern.ALLGATHER:
+            yield from self._allgather(ctx, it, si, section)
+        elif pattern is CommPattern.PIPELINE:
+            return  # single node: nothing to pipe to
+        else:  # pragma: no cover - exhaustiveness guard
+            raise SimulationError(f"unknown pattern {pattern}")
+
+    # -- communication patterns ---------------------------------------------------
+
+    def _nn_disk_source(self, ctx, section) -> Optional[str]:
+        """Disk source for boundary messages: the section's source
+        variable, when it is out of core on this node."""
+        src = section.comm.source_variable
+        if src is None:
+            return None
+        placement = ctx.plan.placements.get(src)
+        if placement is not None and not placement.in_core:
+            return src
+        return None
+
+    def _nearest_neighbor(self, ctx, it, si, section):
+        rank, P = ctx.rank, self.cluster.n_nodes
+        nbytes = section.comm.message_bytes
+        disk_source = self._nn_disk_source(ctx, section)
+        neighbors = [r for r in (rank - 1, rank + 1) if 0 <= r < P]
+        for nb in neighbors:
+            yield from ctx.send_msg(
+                nb, f"{it}:{si}:nn", nbytes, it, section.name, disk_source
+            )
+        for nb in neighbors:
+            yield from ctx.recv_msg(nb, f"{it}:{si}:nn", it, section.name)
+
+    def _reduce_bcast(self, ctx, it, si, section):
+        """Binomial-tree reduce to node 0, binomial broadcast back."""
+        rank, P = ctx.rank, self.cluster.n_nodes
+        nbytes = section.comm.message_bytes
+        start = ctx.now
+        mask = 1
+        while mask < P:
+            if rank & mask:
+                yield from ctx.send_msg(
+                    rank - mask, f"{it}:{si}:red:{mask}", nbytes, it, section.name
+                )
+                break
+            partner = rank | mask
+            if partner < P:
+                yield from ctx.recv_msg(
+                    partner, f"{it}:{si}:red:{mask}", it, section.name
+                )
+            mask <<= 1
+        pot = 1
+        while pot < P:
+            pot <<= 1
+        mask = pot >> 1
+        while mask > 0:
+            if rank % (2 * mask) == 0:
+                if rank + mask < P:
+                    yield from ctx.send_msg(
+                        rank + mask, f"{it}:{si}:bc:{mask}", nbytes, it, section.name
+                    )
+            elif rank % (2 * mask) == mask:
+                yield from ctx.recv_msg(
+                    rank - mask, f"{it}:{si}:bc:{mask}", it, section.name
+                )
+            mask >>= 1
+        ctx.observe(
+            Op.COLLECTIVE, it, section.name, 0, None, None, start, nbytes
+        )
+
+    def _allgather(self, ctx, it, si, section):
+        """Ring allgather: P-1 steps, passing a fixed chunk around."""
+        rank, P = ctx.rank, self.cluster.n_nodes
+        nbytes = section.comm.message_bytes
+        start = ctx.now
+        right = (rank + 1) % P
+        left = (rank - 1) % P
+        for step in range(P - 1):
+            yield from ctx.send_msg(
+                right, f"{it}:{si}:ag:{step}", nbytes, it, section.name
+            )
+            yield from ctx.recv_msg(left, f"{it}:{si}:ag:{step}", it, section.name)
+        ctx.observe(
+            Op.COLLECTIVE, it, section.name, 0, None, None, start, nbytes
+        )
+
+    # -- stages -------------------------------------------------------------------
+
+    def _stage_compute_seconds(
+        self, ctx, it, section, stage, tile_lo, tile_hi, node_rows
+    ) -> float:
+        """Ground-truth (perturbed) compute seconds for one stage on one
+        tile's rows during iteration ``it``.
+
+        The stage's ``fixed_work`` is an aggregate cost distributed with
+        the global rows (a zero-row node does none of it), keeping all
+        ground-truth work in the row-proportional regime MHETA models.
+        """
+        program = self.program
+        if self.perturbation.sparse_weights and program.row_weights is not None:
+            weight = program.weight_of_rows(tile_lo, tile_hi)
+        else:
+            weight = float(tile_hi - tile_lo)
+        row_fraction = (tile_hi - tile_lo) / program.n_rows
+        work = stage.work_per_row * weight + stage.fixed_work * row_fraction
+        if it < program.iterations:
+            work *= program.iteration_multiplier(it)
+        nominal = ctx.spec.compute_seconds(work)
+        ws = self._working_set_bytes(ctx, stage)
+        return ctx.perturb.perturb_compute(ctx.spec, nominal, ws)
+
+    def _working_set_bytes(self, ctx, stage: Stage) -> float:
+        ws = float(ctx.replicated_bytes)
+        for name in stage.touched:
+            placement = ctx.plan.placements.get(name)
+            if placement is None:
+                continue  # replicated, already counted
+            ws += placement.local_bytes if placement.in_core else placement.icla_bytes
+        return ws
+
+    def _run_stages(self, ctx, distribution, it, si, section, tile, instrumented):
+        start_row, stop_row = distribution.rows_of(ctx.rank)
+        tile_lo, tile_hi = _tile_bounds(start_row, stop_row, section.tiles, tile)
+        node_rows = stop_row - start_row
+        for stage in section.stages:
+            yield from self._run_stage(
+                ctx, it, section, stage, tile, tile_lo, tile_hi, node_rows,
+                instrumented,
+            )
+
+    def _run_stage(
+        self, ctx, it, section, stage, tile, tile_lo, tile_hi, node_rows,
+        instrumented,
+    ):
+        program = self.program
+        total_compute = self._stage_compute_seconds(
+            ctx, it, section, stage, tile_lo, tile_hi, node_rows
+        )
+        var_map = program.variable_map
+
+        def _ooc(name: str) -> bool:
+            p = ctx.plan.placements.get(name)
+            return p is not None and not p.in_core
+
+        reads_ooc = [v for v in stage.reads if _ooc(v)]
+        writes_ooc = [v for v in stage.writes if _ooc(v)]
+        primary = reads_ooc[0] if reads_ooc else None
+        tile_rows = tile_hi - tile_lo
+
+        # Secondary out-of-core reads: streamed synchronously up front.
+        for name in reads_ooc[1:]:
+            yield from self._stream_var(
+                ctx, name, tile_rows, it, section.name, tile, stage.name, write=False
+            )
+
+        if primary is None or tile_rows == 0:
+            yield from ctx.compute(
+                total_compute, it, section.name, tile, stage.name
+            )
+        else:
+            write_back = primary in stage.writes and var_map[primary].writes_back
+            use_prefetch = program.prefetch and not instrumented
+            yield from self._primary_loop(
+                ctx,
+                primary,
+                tile_rows,
+                total_compute,
+                write_back,
+                use_prefetch,
+                it,
+                section.name,
+                tile,
+                stage.name,
+            )
+
+        # Remaining out-of-core writes stream out after the compute
+        # (the primary read-write variable was written back block by block).
+        for name in writes_ooc:
+            if name == primary:
+                continue
+            yield from self._stream_var(
+                ctx, name, tile_rows, it, section.name, tile, stage.name,
+                write=True, read=False,
+            )
+
+    def _blocks(self, ctx, name: str, tile_rows: int) -> List[int]:
+        """Row counts of the ICLA blocks streaming ``tile_rows`` of ``name``."""
+        block_rows = ctx.plan.placements[name].block_rows
+        blocks = []
+        remaining = tile_rows
+        while remaining > 0:
+            take = min(block_rows, remaining)
+            blocks.append(take)
+            remaining -= take
+        return blocks
+
+    def _stream_var(
+        self, ctx, name, tile_rows, it, section, tile, stage, *,
+        write: bool, read: bool = True,
+    ):
+        """Synchronously stream a variable's tile share block by block."""
+        if tile_rows == 0:
+            return
+        row_bytes = self.program.variable(name).row_bytes
+        for rows in self._blocks(ctx, name, tile_rows):
+            nbytes = rows * row_bytes
+            if read:
+                yield from ctx.sync_read(name, nbytes, it, section, tile, stage, rows)
+            if write:
+                yield from ctx.sync_write(name, nbytes, it, section, tile, stage, rows)
+
+    def _primary_loop(
+        self, ctx, name, tile_rows, total_compute, write_back, use_prefetch,
+        it, section, tile, stage,
+    ):
+        """Stream the primary variable, interleaving the stage's compute.
+
+        Synchronous: read block, compute its share, write it back.
+        Prefetching: the unrolled loop of paper Figure 6 — read block 1,
+        then issue the next read asynchronously while computing on the
+        current block.
+        """
+        row_bytes = self.program.variable(name).row_bytes
+        blocks = self._blocks(ctx, name, tile_rows)
+        shares = [total_compute * b / tile_rows for b in blocks]
+
+        if not use_prefetch or len(blocks) == 1:
+            for rows, share in zip(blocks, shares):
+                nbytes = rows * row_bytes
+                yield from ctx.sync_read(name, nbytes, it, section, tile, stage, rows)
+                yield from ctx.compute(share, it, section, tile, stage)
+                if write_back:
+                    yield from ctx.sync_write(
+                        name, nbytes, it, section, tile, stage, rows
+                    )
+            return
+
+        # Unrolled prefetch loop.
+        nbytes0 = blocks[0] * row_bytes
+        yield from ctx.sync_read(name, nbytes0, it, section, tile, stage, blocks[0])
+        pending = None  # DiskOp for the block being prefetched
+        for i in range(1, len(blocks)):
+            nbytes = blocks[i] * row_bytes
+            issue_start = ctx.now
+            yield from ctx.cpu(PREFETCH_ISSUE_OVERHEAD)
+            pending = ctx.disk.submit_read(ctx.now, name, nbytes)
+            ctx.observe(
+                Op.PREFETCH_ISSUE, it, section, tile, stage, name,
+                issue_start, nbytes, blocks[i],
+            )
+            # Overlapping computation on the previous block.
+            yield from ctx.compute(shares[i - 1], it, section, tile, stage)
+            wait_start = ctx.now
+            if pending.done > ctx.now:
+                yield from ctx.cpu(pending.done - ctx.now)
+            ctx.observe(
+                Op.PREFETCH_WAIT, it, section, tile, stage, name,
+                wait_start, nbytes, blocks[i],
+            )
+            if write_back:
+                prev_bytes = blocks[i - 1] * row_bytes
+                yield from ctx.sync_write(
+                    name, prev_bytes, it, section, tile, stage, blocks[i - 1]
+                )
+        yield from ctx.compute(shares[-1], it, section, tile, stage)
+        if write_back:
+            last_bytes = blocks[-1] * row_bytes
+            yield from ctx.sync_write(
+                name, last_bytes, it, section, tile, stage, blocks[-1]
+            )

@@ -1,0 +1,80 @@
+"""Execution trace records emitted by the emulator.
+
+The instrumentation layer (:mod:`repro.instrument`) consumes these the
+way MPI-Jack consumes PMPI callbacks in the paper: each record carries
+the ids of the enclosing parallel section, tile and stage, the variable
+involved, and the measured duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["Op", "EventRecord", "TraceCollector"]
+
+
+class Op:
+    """Kinds of traced operations (string constants, not an enum, so the
+    hot emulator path avoids enum overhead)."""
+
+    COMPUTE = "compute"
+    READ = "read"
+    WRITE = "write"
+    PREFETCH_ISSUE = "prefetch_issue"
+    PREFETCH_WAIT = "prefetch_wait"
+    SEND = "send"
+    RECV = "recv"
+    COLLECTIVE = "collective"
+    ITERATION_END = "iteration_end"
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One traced operation."""
+
+    op: str
+    node: int
+    iteration: int
+    section: str
+    tile: int
+    stage: Optional[str]
+    variable: Optional[str]
+    start: float
+    end: float
+    nbytes: float = 0.0
+    rows: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+Observer = Callable[[EventRecord], None]
+
+
+class TraceCollector:
+    """An observer that simply stores every record (tests, debugging)."""
+
+    def __init__(self) -> None:
+        self.records: List[EventRecord] = []
+
+    def __call__(self, record: EventRecord) -> None:
+        self.records.append(record)
+
+    def of_kind(self, op: str) -> List[EventRecord]:
+        return [r for r in self.records if r.op == op]
+
+    def for_node(self, node: int) -> List[EventRecord]:
+        return [r for r in self.records if r.node == node]
+
+    def for_iteration(self, iteration: int) -> List[EventRecord]:
+        return [r for r in self.records if r.iteration == iteration]
+
+    def total(self, op: str, node: Optional[int] = None) -> float:
+        """Sum of durations of ``op`` records (optionally one node's)."""
+        return sum(
+            r.duration
+            for r in self.records
+            if r.op == op and (node is None or r.node == node)
+        )

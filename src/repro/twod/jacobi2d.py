@@ -1,0 +1,433 @@
+"""2-D Jacobi: emulator and MHETA-style model for GenBlock2D layouts.
+
+The 1-D machinery distributes rows only; a 2-D stencil decomposition
+owns a ``rows x cols`` tile, exchanges four halos per iteration (north/
+south rows, east/west columns) and reduces a residual.  This module
+implements that workload twice, exactly like the 1-D core:
+
+* :class:`TwoDEmulator` — a discrete-event execution on the same engine,
+  disk model and perturbation layer as :mod:`repro.sim`;
+* :class:`TwoDModel` — the analytical mirror, fed by one instrumented
+  iteration plus the standard microbenchmarks.
+
+Under ideal conditions (perturbations off, perfect timers) the two agree
+exactly, extending the reproduction's central invariant to 2-D — the
+support the paper's Section 5.1 asserts exists before declining to use
+it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.comm import SectionTimeline
+from repro.exceptions import ModelError, SimulationError
+from repro.instrument.collect import MeasurementConfig
+from repro.instrument.microbench import Microbenchmarks, run_microbenchmarks
+from repro.sim.disk import DiskModel
+from repro.sim.engine import Delay, Engine, Recv, Send
+from repro.sim.perturbation import PerturbationConfig, PerturbationModel
+from repro.twod.distribution2d import GenBlock2D
+from repro.util.rng import stream
+from repro.util.units import DOUBLE
+
+__all__ = ["Jacobi2DSpec", "TwoDEmulator", "TwoDModel", "build_2d_model"]
+
+#: Direction order for halo sends/receives (fixed, mirrored by the model).
+DIRECTIONS = ("north", "south", "west", "east")
+_OPPOSITE = {"north": "south", "south": "north", "west": "east", "east": "west"}
+
+
+@dataclass(frozen=True)
+class Jacobi2DSpec:
+    """The 2-D Jacobi workload: an N x M read-write grid of doubles."""
+
+    n_rows: int
+    n_cols: int
+    iterations: int = 100
+    work_per_element: float = 60e-9
+    element_size: int = DOUBLE
+
+    def tile_bytes(self, rows: int, cols: int) -> float:
+        return rows * cols * self.element_size
+
+
+class TwoDEmulator:
+    """Discrete-event execution of 2-D Jacobi under a GenBlock2D."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        spec: Jacobi2DSpec,
+        perturbation: Optional[PerturbationConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.perturbation = (
+            perturbation if perturbation is not None else PerturbationConfig()
+        )
+
+    # -- placement ---------------------------------------------------------
+
+    def _block_rows(self, rank: int, dist: GenBlock2D, forced: bool) -> Tuple[bool, int]:
+        """(in_core, rows per ICLA chunk) for the node's tile."""
+        rows, cols = dist.tile(rank)
+        node = self.cluster[rank]
+        tile = self.spec.tile_bytes(rows, cols)
+        row_bytes = cols * self.spec.element_size
+        if not forced and tile <= node.memory_bytes:
+            return True, max(rows, 1)
+        budget = node.memory_bytes if not forced else max(tile / 2, row_bytes)
+        chunk = max(1, int(budget // max(row_bytes, 1e-12)))
+        if forced:
+            chunk = max(1, min(chunk, rows // 2 or 1))
+        return False, min(chunk, max(rows, 1))
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        dist: GenBlock2D,
+        *,
+        iterations: Optional[int] = None,
+        instrumented: bool = False,
+        collector: Optional["_TwoDCollector"] = None,
+    ) -> float:
+        if dist.n_nodes != self.cluster.n_nodes:
+            raise SimulationError("grid shape does not cover the cluster")
+        if dist.n_rows != self.spec.n_rows or dist.n_cols != self.spec.n_cols:
+            raise SimulationError("distribution does not cover the array")
+        n_iter = iterations if iterations is not None else self.spec.iterations
+        engine = Engine()
+        for rank in range(dist.n_nodes):
+            engine.add_process(
+                self._node(rank, dist, n_iter, instrumented, collector),
+                node=rank,
+            )
+        return engine.run()
+
+    def _node(self, rank, dist, n_iter, instrumented, collector):
+        spec = self.spec
+        node = self.cluster[rank]
+        net = self.cluster.network
+        rows, cols = dist.tile(rank)
+        in_core, chunk_rows = self._block_rows(rank, dist, instrumented)
+        row_bytes = cols * spec.element_size
+        tile_bytes = spec.tile_bytes(rows, cols)
+        disk = DiskModel(
+            node,
+            resident_bytes=(tile_bytes if in_core else chunk_rows * row_bytes),
+            cache_enabled=self.perturbation.os_read_cache,
+        )
+        if not in_core:
+            disk.register_variable("grid2d", tile_bytes)
+        perturb = PerturbationModel(
+            self.perturbation,
+            run_labels=(
+                "2d",
+                self.cluster.name,
+                f"{dist.row_counts}x{dist.col_counts}",
+                rank,
+                "instr" if instrumented else "run",
+            ),
+        )
+        now = 0.0
+
+        def cpu(seconds):
+            nonlocal now
+            if seconds > 0:
+                now = float((yield Delay(seconds)))
+
+        neighbors = dist.neighbors(rank)
+        for it in range(n_iter):
+            # -- stage: sweep the tile (streaming if out of core) ----------
+            work = rows * cols * spec.work_per_element
+            nominal = node.compute_seconds(work)
+            ws = chunk_rows * row_bytes if not in_core else tile_bytes
+            compute_total = perturb.perturb_compute(node, nominal, ws)
+            compute_done = 0.0
+            if in_core:
+                start = now
+                yield from cpu(compute_total)
+                compute_done = compute_total
+                if collector is not None:
+                    collector.on_compute(rank, it, compute_total)
+            else:
+                remaining = rows
+                while remaining > 0:
+                    take = min(chunk_rows, remaining)
+                    nbytes = take * row_bytes
+                    op = disk.submit_read(now, "grid2d", nbytes)
+                    read_dur = op.done - now
+                    yield from cpu(read_dur)
+                    if collector is not None:
+                        collector.on_read(rank, read_dur, nbytes)
+                    share = compute_total * take / rows
+                    yield from cpu(share)
+                    compute_done += share
+                    if collector is not None:
+                        collector.on_compute(rank, it, share)
+                    wop = disk.submit_write(now, "grid2d", nbytes)
+                    write_dur = wop.done - now
+                    yield from cpu(write_dur)
+                    if collector is not None:
+                        collector.on_write(rank, write_dur, nbytes)
+                    remaining -= take
+            # -- halo exchange (sends in fixed order, then receives) -------
+            for direction, other in neighbors:
+                nbytes = dist.halo_elements(rank, direction) * spec.element_size
+                if not in_core:
+                    op = disk.submit_read(now, "grid2d", nbytes)
+                    dur = op.done - now
+                    yield from cpu(dur)
+                    if collector is not None:
+                        collector.on_read(rank, dur, nbytes)
+                yield from cpu(net.send_overhead)
+                yield Send(
+                    other,
+                    f"{it}:halo:{direction}",
+                    transfer=net.transfer_seconds(nbytes),
+                )
+            for direction, other in neighbors:
+                result = yield Recv(other, f"{it}:halo:{_OPPOSITE[direction]}")
+                now = float(result)
+                yield from cpu(net.recv_overhead)
+            # -- residual allreduce (binomial reduce + broadcast) -----------
+            yield from self._allreduce(rank, dist.n_nodes, it, net, cpu)
+
+    def _allreduce(self, rank, P, it, net, cpu):
+        nbytes = 8.0
+        mask = 1
+        while mask < P:
+            if rank & mask:
+                yield from cpu(net.send_overhead)
+                yield Send(
+                    rank - mask,
+                    f"{it}:red:{mask}",
+                    transfer=net.transfer_seconds(nbytes),
+                )
+                break
+            partner = rank | mask
+            if partner < P:
+                result = yield Recv(partner, f"{it}:red:{mask}")
+                yield from cpu(net.recv_overhead)
+            mask <<= 1
+        pot = 1
+        while pot < P:
+            pot <<= 1
+        mask = pot >> 1
+        while mask > 0:
+            if rank % (2 * mask) == 0:
+                if rank + mask < P:
+                    yield from cpu(net.send_overhead)
+                    yield Send(
+                        rank + mask,
+                        f"{it}:bc:{mask}",
+                        transfer=net.transfer_seconds(nbytes),
+                    )
+            elif rank % (2 * mask) == mask:
+                result = yield Recv(rank - mask, f"{it}:bc:{mask}")
+                yield from cpu(net.recv_overhead)
+            mask >>= 1
+
+
+class _TwoDCollector:
+    """Instrumented-iteration measurements for the 2-D model."""
+
+    def __init__(self, measurement: MeasurementConfig, rng) -> None:
+        self._m = measurement
+        self._rng = rng
+        self.compute: Dict[int, float] = defaultdict(float)
+        self.read_seconds: Dict[int, float] = defaultdict(float)
+        self.read_bytes: Dict[int, float] = defaultdict(float)
+        self.read_ops: Dict[int, int] = defaultdict(int)
+        self.write_seconds: Dict[int, float] = defaultdict(float)
+        self.write_bytes: Dict[int, float] = defaultdict(float)
+        self.write_ops: Dict[int, int] = defaultdict(int)
+
+    def _measured(self, duration: float) -> float:
+        rel = self._m.relative_bias + self._rng.normal(
+            0.0, self._m.relative_sigma
+        )
+        return duration * (1.0 + rel) + self._m.timer_overhead
+
+    def on_compute(self, rank, it, duration):
+        self.compute[rank] += self._measured(duration)
+
+    def on_read(self, rank, duration, nbytes):
+        self.read_seconds[rank] += self._measured(duration)
+        self.read_bytes[rank] += nbytes
+        self.read_ops[rank] += 1
+
+    def on_write(self, rank, duration, nbytes):
+        self.write_seconds[rank] += self._measured(duration)
+        self.write_bytes[rank] += nbytes
+        self.write_ops[rank] += 1
+
+
+@dataclass(frozen=True)
+class TwoDInputs:
+    """The 2-D analogue of the internal MHETA file."""
+
+    distribution0: GenBlock2D
+    compute_seconds: Tuple[float, ...]  #: per node, at d0's tile areas
+    read_per_byte: Tuple[float, ...]
+    write_per_byte: Tuple[float, ...]
+    micro: Microbenchmarks
+
+
+class TwoDModel:
+    """The MHETA equations over 2-D tiles."""
+
+    def __init__(
+        self, cluster: ClusterSpec, spec: Jacobi2DSpec, inputs: TwoDInputs
+    ) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.inputs = inputs
+        self._timeline = SectionTimeline(inputs.micro, cluster.n_nodes)
+
+    # -- per-node stage time ----------------------------------------------------
+
+    def _stage_seconds(self, rank: int, dist: GenBlock2D) -> float:
+        spec = self.spec
+        rows, cols = dist.tile(rank)
+        area = rows * cols
+        area0 = self.inputs.distribution0.tile_elements(rank)
+        if area0 <= 0:
+            raise ModelError(f"node {rank}: empty instrumented tile")
+        compute = self.inputs.compute_seconds[rank] * (area / area0)
+        node = self.cluster[rank]
+        tile_bytes = spec.tile_bytes(rows, cols)
+        if tile_bytes <= node.memory_bytes:
+            return compute
+        disk = self.inputs.micro.disks[rank]
+        row_bytes = cols * spec.element_size
+        chunk_rows = max(1, int(node.memory_bytes // max(row_bytes, 1e-12)))
+        chunk_rows = min(chunk_rows, rows)
+        n_io = -(-rows // chunk_rows)
+        io = n_io * (disk.read_seek + disk.write_seek) + tile_bytes * (
+            self.inputs.read_per_byte[rank] + self.inputs.write_per_byte[rank]
+        )
+        return compute + io
+
+    def _halo_read_seconds(self, rank: int, dist: GenBlock2D, nbytes: float) -> float:
+        rows, cols = dist.tile(rank)
+        node = self.cluster[rank]
+        if self.spec.tile_bytes(rows, cols) <= node.memory_bytes:
+            return 0.0
+        disk = self.inputs.micro.disks[rank]
+        return disk.read_seek + nbytes * self.inputs.read_per_byte[rank]
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict_seconds(
+        self, dist: GenBlock2D, iterations: Optional[int] = None
+    ) -> float:
+        if dist.n_nodes != self.cluster.n_nodes:
+            raise ModelError("grid shape does not cover the cluster")
+        n_iter = iterations if iterations is not None else self.spec.iterations
+        P = self.cluster.n_nodes
+        net = self.inputs.micro
+        stage = [self._stage_seconds(rank, dist) for rank in range(P)]
+
+        clocks = [0.0] * P
+        prev_steady = None
+        ends: List[List[float]] = []
+        simulate = 0
+        while simulate < n_iter:
+            clocks = self._iterate(dist, stage, clocks, net)
+            ends.append(list(clocks))
+            simulate += 1
+            if len(ends) >= 2:
+                steady = [ends[-1][n] - ends[-2][n] for n in range(P)]
+                if prev_steady is not None and all(
+                    abs(a - b) <= 1e-12 + 1e-9 * abs(b)
+                    for a, b in zip(steady, prev_steady)
+                ):
+                    break
+                prev_steady = steady
+        if n_iter == 1 or len(ends) < 2:
+            return max(ends[0])
+        steady = [ends[-1][n] - ends[-2][n] for n in range(P)]
+        return max(
+            ends[-1][n] + steady[n] * (n_iter - simulate) for n in range(P)
+        )
+
+    def _iterate(self, dist, stage, start, net):
+        """One iteration's max-plus mirror: stage, halos, allreduce."""
+        P = len(start)
+        os_ = net.send_overhead
+        or_ = net.recv_overhead
+        # Halo exchange: sends in DIRECTIONS order, then receives.
+        deliver: Dict[Tuple[int, str], float] = {}
+        ready = [0.0] * P
+        for rank in range(P):
+            t = start[rank] + stage[rank]
+            for direction, _other in dist.neighbors(rank):
+                nbytes = dist.halo_elements(rank, direction) * self.spec.element_size
+                t += self._halo_read_seconds(rank, dist, nbytes)
+                t += os_
+                deliver[(rank, direction)] = t + net.transfer_seconds(nbytes)
+            ready[rank] = t
+        after_halo = list(ready)
+        for rank in range(P):
+            t = ready[rank]
+            for direction, other in dist.neighbors(rank):
+                t = max(t, deliver[(other, _OPPOSITE[direction])]) + or_
+            after_halo[rank] = t
+        # Residual allreduce: reuse the 1-D reduction mirror.
+        from repro.program.sections import CommPattern
+
+        return self._timeline.advance(
+            CommPattern.REDUCTION,
+            after_halo,
+            [[0.0]] * P,
+            8.0,
+            [0.0] * P,
+        )
+
+
+def build_2d_model(
+    cluster: ClusterSpec,
+    spec: Jacobi2DSpec,
+    d0: GenBlock2D,
+    perturbation: Optional[PerturbationConfig] = None,
+    measurement: Optional[MeasurementConfig] = None,
+    micro: Optional[Microbenchmarks] = None,
+) -> TwoDModel:
+    """Instrument one 2-D iteration under ``d0`` and build the model."""
+    measurement = measurement or MeasurementConfig()
+    micro = micro or run_microbenchmarks(cluster)
+    rng = stream("2d-measurement", cluster.name, spec.n_rows, spec.n_cols)
+    collector = _TwoDCollector(measurement, rng)
+    emulator = TwoDEmulator(cluster, spec, perturbation)
+    emulator.run(d0, iterations=1, instrumented=True, collector=collector)
+    P = cluster.n_nodes
+    read_pb = []
+    write_pb = []
+    for rank in range(P):
+        disk = micro.disks[rank]
+        rb = collector.read_bytes[rank]
+        wb = collector.write_bytes[rank]
+        read_pb.append(
+            max(collector.read_seconds[rank] - collector.read_ops[rank] * disk.read_seek, 0.0) / rb
+            if rb > 0
+            else disk.read_byte_latency
+        )
+        write_pb.append(
+            max(collector.write_seconds[rank] - collector.write_ops[rank] * disk.write_seek, 0.0) / wb
+            if wb > 0
+            else disk.write_byte_latency
+        )
+    inputs = TwoDInputs(
+        distribution0=d0,
+        compute_seconds=tuple(collector.compute[r] for r in range(P)),
+        read_per_byte=tuple(read_pb),
+        write_per_byte=tuple(write_pb),
+        micro=micro,
+    )
+    return TwoDModel(cluster, spec, inputs)

@@ -1,0 +1,31 @@
+"""Shared utilities: units, deterministic RNG streams, table rendering."""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    DOUBLE,
+    bytes_to_human,
+    seconds_to_human,
+    mib,
+    gib,
+)
+from repro.util.rng import stream, derive_seed
+from repro.util.tables import render_table, render_series
+from repro.util.ascii_plot import ascii_plot
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "DOUBLE",
+    "bytes_to_human",
+    "seconds_to_human",
+    "mib",
+    "gib",
+    "stream",
+    "derive_seed",
+    "render_table",
+    "render_series",
+    "ascii_plot",
+]

@@ -1,0 +1,117 @@
+"""Terminal line plots for the paper's figures.
+
+The experiment harness tabulates every figure; this module additionally
+renders the series as an ASCII chart so the *shape* of Figures 9-11 —
+the error hump near I-C, the U-curves of the spectrum sweeps, the
+predicted line hugging the actual one — is visible in a terminal.
+
+The renderer is deliberately simple: one character cell per (column,
+row), series drawn in order with distinct markers, a left axis with the
+value range, and the x labels printed beneath (thinned to fit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+MARKERS = "o*x+#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, height: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(int(frac * (height - 1) + 0.5), height - 1)
+
+
+def ascii_plot(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+    y_format: str = ".1f",
+) -> str:
+    """Render one chart.
+
+    ``series`` maps a name to its y values; all series share
+    ``x_labels``.  Returns the chart as a string (no trailing newline).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n_points = len(x_labels)
+    for name, ys in series.items():
+        if len(ys) != n_points:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {n_points} labels"
+            )
+    if n_points == 0:
+        raise ValueError("need at least one point")
+
+    all_values = [v for ys in series.values() for v in ys]
+    lo = min(all_values)
+    hi = max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    width = max(width, n_points)
+    # Column position of each x index.
+    if n_points == 1:
+        cols = [width // 2]
+    else:
+        cols = [round(i * (width - 1) / (n_points - 1)) for i in range(n_points)]
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for s_idx, (name, ys) in enumerate(series.items()):
+        marker = MARKERS[s_idx % len(MARKERS)]
+        last = None
+        for i, value in enumerate(ys):
+            row = height - 1 - _scale(value, lo, hi, height)
+            col = cols[i]
+            # Connect to the previous point with a sparse line.
+            if last is not None:
+                lr, lc = last
+                steps = max(abs(col - lc), 1)
+                for k in range(1, steps):
+                    cc = lc + (col - lc) * k // steps
+                    rr = lr + (row - lr) * k // steps
+                    if grid[rr][cc] == " ":
+                        grid[rr][cc] = "."
+            grid[row][col] = marker
+            last = (row, col)
+
+    lo_label = format(lo, y_format)
+    hi_label = format(hi, y_format)
+    pad = max(len(lo_label), len(hi_label))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row_cells in enumerate(grid):
+        if r == 0:
+            label = hi_label.rjust(pad)
+        elif r == height - 1:
+            label = lo_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(" " * pad + " +" + "-" * width)
+
+    # X labels: print as many as fit without overlap.
+    label_row = [" "] * (width + 1)
+    for i, col in enumerate(cols):
+        text = str(x_labels[i])
+        if col + len(text) > width + 1:
+            col = max(width + 1 - len(text), 0)
+        if all(c == " " for c in label_row[col : col + len(text) + 1]):
+            label_row[col : col + len(text)] = list(text)
+    lines.append(" " * pad + "  " + "".join(label_row).rstrip())
+
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Plain-text table and data-series rendering.
+
+The benchmark harness reproduces the paper's tables and figure series as
+text (this is a library, not a plotting package).  ``render_table`` prints
+aligned columns; ``render_series`` prints an x/y series the way the
+figures' underlying data would be tabulated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+__all__ = ["render_table", "render_series"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return format(cell, float_fmt)
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    float_fmt: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Floats are formatted with ``float_fmt``; every column is padded to its
+    widest cell.  Returns the table as a single string (no trailing
+    newline).
+    """
+    str_rows = [[_fmt(c, float_fmt) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Mapping[str, Sequence[float]],
+    *,
+    float_fmt: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render one or more y-series against shared x values.
+
+    This is the textual equivalent of one panel of the paper's figures:
+    the x axis is the distribution spectrum, each named series is a line
+    (e.g. ``J-Actual``, ``J-Predicted``).
+    """
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(x_values)}"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(s[i] for s in series.values())] for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, float_fmt=float_fmt, title=title)

@@ -1,0 +1,65 @@
+"""Size and time unit helpers.
+
+All sizes inside the library are plain byte counts (``int``) and all times
+are seconds (``float``).  These helpers exist so that cluster
+configurations and experiment scripts read naturally (``mib(512)`` instead
+of ``536870912``) and so that reports print human-friendly values.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "DOUBLE",
+    "mib",
+    "gib",
+    "kib",
+    "bytes_to_human",
+    "seconds_to_human",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Size in bytes of the double-precision elements used by every benchmark
+#: application in the paper (dense/sparse matrices and vectors of doubles).
+DOUBLE = 8
+
+
+def kib(n: float) -> int:
+    """``n`` kibibytes, as an integer byte count."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """``n`` mebibytes, as an integer byte count."""
+    return int(n * MIB)
+
+
+def gib(n: float) -> int:
+    """``n`` gibibytes, as an integer byte count."""
+    return int(n * GIB)
+
+
+def bytes_to_human(n: float) -> str:
+    """Render a byte count with a binary suffix (``1.50 GiB``)."""
+    n = float(n)
+    for limit, suffix in ((GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if abs(n) >= limit:
+            return f"{n / limit:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def seconds_to_human(t: float) -> str:
+    """Render a duration: microseconds below 1 ms, milliseconds below 1 s,
+    seconds otherwise."""
+    if abs(t) < 1e-3:
+        return f"{t * 1e6:.1f} us"
+    if abs(t) < 1.0:
+        return f"{t * 1e3:.2f} ms"
+    if abs(t) < 120.0:
+        return f"{t:.2f} s"
+    return f"{t / 60.0:.1f} min"

@@ -1,0 +1,124 @@
+"""Shared fixtures: small clusters and programs that run in milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec, NetworkSpec, baseline_cluster
+from repro.program import ProgramBuilder
+from repro.util.units import mib
+
+
+@pytest.fixture
+def base_cluster() -> ClusterSpec:
+    """Eight homogeneous baseline nodes."""
+    return baseline_cluster()
+
+
+@pytest.fixture
+def hetero_cluster() -> ClusterSpec:
+    """Eight nodes varying on all three axes (CPU, memory, disk)."""
+    base = baseline_cluster()
+    powers = [1.0, 0.5, 2.0, 1.0, 1.5, 1.0, 0.75, 1.0]
+    memories = [96, 8, 96, 16, 96, 12, 96, 96]  # MiB
+    nodes = []
+    for i, node in enumerate(base.nodes):
+        node = node.with_(cpu_power=powers[i], memory_bytes=mib(memories[i]))
+        if i in (1, 3):
+            node = node.scaled_io(2.0)
+        if i == 5:
+            node = node.scaled_io(0.5)
+        nodes.append(node)
+    return base.with_nodes(nodes, name="hetero-test")
+
+
+@pytest.fixture
+def two_node_cluster() -> ClusterSpec:
+    """Two nodes — the paper's equations are stated for this case."""
+    return baseline_cluster(name="pair", n_nodes=2)
+
+
+def make_jacobi_like(n_rows: int = 512, cols: int = 512, iterations: int = 3):
+    """A miniature Jacobi-shaped program (RW grid + NN + reduction)."""
+    return (
+        ProgramBuilder("mini-jacobi", n_rows=n_rows, iterations=iterations)
+        .distributed("grid", cols=cols, access="read-write")
+        .section("sweep")
+        .stage(
+            "update",
+            reads=["grid"],
+            writes=["grid"],
+            work_per_row=cols * 50e-9,
+        )
+        .nearest_neighbor(message_bytes=cols * 8, source_variable="grid")
+        .section("residual")
+        .stage("norm", reads=["grid"], work_per_row=20e-9)
+        .reduction(message_bytes=8)
+        .build()
+    )
+
+
+def make_pipeline_like(
+    n_rows: int = 512, cols: int = 256, tiles: int = 4, iterations: int = 2
+):
+    """A miniature RNA-shaped pipelined program."""
+    return (
+        ProgramBuilder("mini-rna", n_rows=n_rows, iterations=iterations)
+        .distributed("dp", cols=cols, access="read-write")
+        .section("wave", tiles=tiles)
+        .stage(
+            "fill", reads=["dp"], writes=["dp"], work_per_row=cols * 40e-9
+        )
+        .pipeline(message_bytes=cols * 8 / tiles, source_variable="dp")
+        .build()
+    )
+
+
+def make_cg_like(n_rows: int = 1024, nnz: int = 16, iterations: int = 3):
+    """A miniature CG-shaped program (read-only matrix + collectives)."""
+    return (
+        ProgramBuilder("mini-cg", n_rows=n_rows, iterations=iterations)
+        .distributed("A", cols=nnz, access="read-only", element_size=12)
+        .distributed("q", cols=1, access="read-write")
+        .replicated("p_full", elements=n_rows)
+        .section("matvec")
+        .stage(
+            "Ap", reads=["A", "p_full"], writes=["q"], work_per_row=nnz * 60e-9
+        )
+        .allgather(message_bytes=n_rows)
+        .section("dots")
+        .stage("rho", reads=["q"], work_per_row=10e-9)
+        .reduction(message_bytes=16)
+        .build()
+    )
+
+
+@pytest.fixture
+def jacobi_like():
+    return make_jacobi_like()
+
+
+@pytest.fixture
+def pipeline_like():
+    return make_pipeline_like()
+
+
+@pytest.fixture
+def cg_like():
+    return make_cg_like()
+
+
+@pytest.fixture
+def fast_network_cluster() -> ClusterSpec:
+    """Two nodes with zeroed network costs (isolates computation/I/O)."""
+    base = baseline_cluster(name="zero-net", n_nodes=2)
+    return ClusterSpec(
+        name=base.name,
+        nodes=base.nodes,
+        network=NetworkSpec(
+            send_overhead=0.0,
+            recv_overhead=0.0,
+            latency_per_byte=0.0,
+            fixed_latency=0.0,
+        ),
+    )

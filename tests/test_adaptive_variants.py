@@ -1,0 +1,62 @@
+"""Adaptive runtime across application shapes and options."""
+
+import pytest
+
+from repro.cluster import config_dc, config_io
+from repro.runtime import AdaptiveRuntime
+from repro.search import GeneticSearch
+from repro.apps import RnaPipelineApp, application_by_name
+from repro.experiments import build_model
+
+SCALE = 0.08
+
+
+class TestAdaptiveAcrossApps:
+    @pytest.mark.parametrize("app_name", ["cg", "lanczos", "rna"])
+    def test_adaptive_never_hurts_remaining_iterations(self, app_name):
+        """Whatever the runtime decides, the iterations it actually runs
+        are at least as fast per iteration as the static baseline's."""
+        cluster = config_dc()
+        program = application_by_name(app_name, SCALE).structure
+        report = AdaptiveRuntime(cluster, program).run()
+        remaining = max(program.iterations - 1, 0)
+        if remaining == 0:
+            pytest.skip("single-iteration program")
+        per_iter_adaptive = report.remaining_seconds / remaining
+        per_iter_static = report.static_seconds / program.iterations
+        assert per_iter_adaptive <= per_iter_static * 1.05
+
+    def test_pipeline_program_switches_on_dc(self):
+        cluster = config_dc()
+        program = RnaPipelineApp.paper(SCALE).structure
+        report = AdaptiveRuntime(cluster, program).run()
+        assert report.switched
+        # The chosen layout's iterations beat static Blk's.
+        remaining = program.iterations - 1
+        assert (
+            report.remaining_seconds / remaining
+            < report.static_seconds / program.iterations
+        )
+
+    def test_custom_search_algorithm_injected(self):
+        cluster = config_dc()
+        program = application_by_name("jacobi", SCALE).structure
+        model = build_model(cluster, program)
+        runtime = AdaptiveRuntime(
+            cluster,
+            program,
+            search=GeneticSearch(model, population=6, generations=4),
+            search_budget=40,
+        )
+        report = runtime.run()
+        assert report.search_evaluations <= 40
+
+    def test_safety_factor_blocks_marginal_switches(self):
+        """With an absurd safety factor the runtime never switches."""
+        cluster = config_io()
+        program = application_by_name("jacobi", SCALE).structure
+        report = AdaptiveRuntime(
+            cluster, program, safety_factor=1e9
+        ).run()
+        assert not report.switched
+        assert report.redistribution_seconds == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the trace-analysis module."""
+
+import pytest
+
+from repro.distribution import GenBlock, block
+from repro.sim import ClusterEmulator, PerturbationConfig, analyse_run
+from repro.sim.trace import TraceCollector
+from repro.util.units import mib
+from tests.conftest import make_jacobi_like
+
+IDEAL = PerturbationConfig.none()
+
+
+@pytest.fixture
+def traced_run(base_cluster):
+    program = make_jacobi_like(n_rows=2048, cols=2048, iterations=2)
+    cluster = base_cluster.with_nodes(
+        [n.with_(memory_bytes=mib(2)) for n in base_cluster.nodes],
+        name="small",
+    )
+    trace = TraceCollector()
+    result = ClusterEmulator(cluster, program, IDEAL).run(
+        block(cluster, program.n_rows), observer=trace
+    )
+    return trace, result, program
+
+
+class TestAnalyseRun:
+    def test_per_node_breakdowns(self, traced_run):
+        trace, result, _ = traced_run
+        analysis = analyse_run(trace, result)
+        assert len(analysis.nodes) == 8
+        for node in analysis.nodes:
+            assert node.total_seconds > 0
+            assert node.compute_seconds > 0
+            assert node.io_seconds > 0  # out-of-core run
+            assert node.idle_seconds >= 0
+
+    def test_components_bounded_by_total(self, traced_run):
+        trace, result, _ = traced_run
+        analysis = analyse_run(trace, result)
+        for node in analysis.nodes:
+            accounted = (
+                node.compute_seconds
+                + node.read_seconds
+                + node.write_seconds
+                + node.send_seconds
+                + node.recv_seconds
+                + node.prefetch_wait_seconds
+                + node.idle_seconds
+            )
+            assert accounted == pytest.approx(node.total_seconds, rel=1e-6)
+
+    def test_io_bytes_by_variable(self, traced_run):
+        trace, result, program = traced_run
+        analysis = analyse_run(trace, result)
+        grid_bytes = analysis.io_bytes_by_variable["grid"]
+        # Each iteration: full read + full write of the grid, plus the
+        # boundary reads for the neighbour messages.
+        per_pass = program.n_rows * program.variable("grid").row_bytes
+        assert grid_bytes >= 2 * 2 * per_pass
+
+    def test_bottleneck_carries_most_load(self, traced_run):
+        trace, result, _ = traced_run
+        analysis = analyse_run(trace, result)
+        loads = [n.compute_seconds + n.io_seconds for n in analysis.nodes]
+        assert analysis.bottleneck.node == loads.index(max(loads))
+
+    def test_imbalance_one_for_uniform(self, base_cluster, jacobi_like):
+        trace = TraceCollector()
+        result = ClusterEmulator(base_cluster, jacobi_like, IDEAL).run(
+            block(base_cluster, jacobi_like.n_rows), observer=trace
+        )
+        analysis = analyse_run(trace, result)
+        assert analysis.imbalance == pytest.approx(1.0, abs=0.05)
+
+    def test_imbalance_detects_slow_node(self, base_cluster, jacobi_like):
+        slow = base_cluster.replace_node(
+            0, base_cluster[0].with_(cpu_power=0.25)
+        )
+        trace = TraceCollector()
+        result = ClusterEmulator(slow, jacobi_like, IDEAL).run(
+            block(slow, jacobi_like.n_rows), observer=trace
+        )
+        analysis = analyse_run(trace, result)
+        assert analysis.imbalance > 2.0
+        assert analysis.bottleneck.node == 0
+
+    def test_describe_renders(self, traced_run):
+        trace, result, _ = traced_run
+        text = analyse_run(trace, result).describe()
+        assert "bottleneck" in text
+        assert "grid" in text  # the I/O volume table

@@ -1,0 +1,82 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.util.ascii_plot import MARKERS, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot(["a", "b", "c"], {"s1": [1.0, 2.0, 3.0]})
+        assert "o" in out
+        assert "s1" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot(
+            ["a", "b"], {"one": [1.0, 2.0], "two": [2.0, 1.0]}
+        )
+        assert MARKERS[0] in out
+        assert MARKERS[1] in out
+
+    def test_title_included(self):
+        out = ascii_plot(["x"], {"s": [1.0]}, title="The Title")
+        assert out.splitlines()[0] == "The Title"
+
+    def test_y_range_labels(self):
+        out = ascii_plot(["a", "b"], {"s": [2.0, 10.0]}, y_format=".1f")
+        assert "10.0" in out
+        assert "2.0" in out
+
+    def test_extremes_hit_top_and_bottom(self):
+        out = ascii_plot(["a", "b"], {"s": [0.0, 1.0]}, height=5)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "o" in lines[0]  # max at top row
+        assert "o" in lines[-1]  # min at bottom row
+
+    def test_flat_series_no_crash(self):
+        out = ascii_plot(["a", "b", "c"], {"s": [5.0, 5.0, 5.0]})
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert sum(row.count("o") for row in plot_rows) == 3
+
+    def test_single_point(self):
+        out = ascii_plot(["only"], {"s": [1.0]})
+        assert "o" in out
+        assert "only" in out
+
+    def test_x_labels_thinned_not_overlapping(self):
+        labels = [f"label{i}" for i in range(30)]
+        out = ascii_plot(labels, {"s": list(range(30))}, width=40)
+        label_line = out.splitlines()[-2]
+        assert "label0" in label_line
+        # Not every label fits; the renderer must drop some.
+        assert sum(1 for i in range(30) if f"label{i}" in label_line) < 30
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot(["a"], {})
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot(["a", "b"], {"s": [1.0]})
+
+    def test_no_points_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {"s": []})
+
+    def test_height_respected(self):
+        out = ascii_plot(["a", "b"], {"s": [1.0, 2.0]}, height=7)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 7
+
+    def test_experiment_charts_render(self):
+        from repro.cluster import config_dc
+        from repro.experiments import run_spectrum
+        from repro.apps import JacobiApp
+
+        run = run_spectrum(
+            config_dc(),
+            JacobiApp.paper(0.03).structure.with_iterations(2),
+            steps_per_leg=1,
+        )
+        chart = run.chart()
+        assert "actual" in chart and "predicted" in chart

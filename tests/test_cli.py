@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--scale", "0.03"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fft"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        for name in ("DC", "IO", "HY1", "HY2"):
+            assert name in out
+
+    def test_sweep(self, capsys):
+        out = run_cli(capsys, "sweep", "jacobi", "--config", "DC", *SCALE)
+        assert "mean error" in out
+        assert "Bal" in out
+
+    def test_sweep_prefetch(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "jacobi", "--config", "IO", "--prefetch", *SCALE
+        )
+        assert "jacobi" in out
+
+    def test_predict_with_verify(self, capsys):
+        out = run_cli(
+            capsys,
+            "predict", "lanczos", "--config", "HY2", "--dist", "bal",
+            "--verify", *SCALE,
+        )
+        assert "bottleneck" in out
+        assert "error" in out
+
+    def test_predict_unknown_distribution(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "jacobi", "--dist", "zigzag", *SCALE])
+
+    def test_predict_unknown_config(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "jacobi", "--config", "XX", *SCALE])
+
+    @pytest.mark.parametrize("algorithm", ["gbs", "random", "sweep"])
+    def test_search(self, capsys, algorithm):
+        out = run_cli(
+            capsys,
+            "search", "rna", "--config", "DC",
+            "--algorithm", algorithm, "--budget", "40", *SCALE,
+        )
+        assert "improvement" in out
+
+    def test_adaptive(self, capsys):
+        out = run_cli(capsys, "adaptive", "jacobi", "--config", "DC", *SCALE)
+        assert "speedup" in out
+
+    def test_accuracy_panel(self, capsys):
+        out = run_cli(
+            capsys, "accuracy", "--panel", "rna", "--steps", "1", *SCALE
+        )
+        assert "overall" in out
+
+    def test_spreads(self, capsys):
+        out = run_cli(capsys, "spreads", "--steps", "1", *SCALE)
+        assert "worst/best" in out
+
+    def test_ablation(self, capsys):
+        out = run_cli(capsys, "ablation", "--steps", "1", *SCALE)
+        assert "ablation" in out.lower()
+
+    def test_robustness(self, capsys):
+        out = run_cli(capsys, "robustness", *SCALE)
+        assert "background load" in out
+
+    def test_multigrid_app_available(self, capsys):
+        out = run_cli(capsys, "predict", "multigrid", "--config", "DC", *SCALE)
+        assert "multigrid" in out
+
+
+class TestFileWorkflow:
+    def test_instrument_then_predict(self, capsys, tmp_path):
+        path = tmp_path / "mheta.json"
+        out = run_cli(
+            capsys, "instrument", "jacobi", str(path), "--config", "DC", *SCALE
+        )
+        assert "internal MHETA file" in out
+        assert path.exists()
+        out = run_cli(
+            capsys,
+            "predict", "jacobi", "--config", "DC",
+            "--inputs", str(path), "--dist", "bal", *SCALE,
+        )
+        assert "bottleneck" in out
+
+    def test_analyse(self, capsys):
+        out = run_cli(
+            capsys, "analyse", "jacobi", "--config", "HY1", *SCALE
+        )
+        assert "imbalance" in out
+        assert "util" in out
+
+    def test_sweep_chart_flag(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "lanczos", "--config", "DC", "--chart", *SCALE
+        )
+        assert "actual" in out and "predicted" in out
+        assert "|" in out  # the chart frame

@@ -1,0 +1,217 @@
+"""Unit tests for repro.cluster (nodes, network, cluster, configs)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    NetworkSpec,
+    NodeSpec,
+    architecture_suite,
+    baseline_cluster,
+    config_dc,
+    config_hy1,
+    config_hy2,
+    config_io,
+    prefetch_suite,
+    table1_configs,
+)
+from repro.cluster.configs import N_NODES, baseline_node
+from repro.exceptions import ConfigurationError
+from repro.util.units import mib
+
+
+class TestNodeSpec:
+    def test_defaults_valid(self):
+        node = NodeSpec(name="n")
+        assert node.cpu_power == 1.0
+        assert node.memory_bytes > 0
+
+    def test_read_seconds_is_seek_plus_transfer(self):
+        node = NodeSpec(name="n", disk_read_seek=0.01, disk_read_bw=100e6)
+        assert node.read_seconds(100e6) == pytest.approx(1.01)
+
+    def test_write_seconds(self):
+        node = NodeSpec(name="n", disk_write_seek=0.02, disk_write_bw=50e6)
+        assert node.write_seconds(50e6) == pytest.approx(1.02)
+
+    def test_compute_seconds_scales_with_power(self):
+        fast = NodeSpec(name="f", cpu_power=2.0)
+        slow = NodeSpec(name="s", cpu_power=0.5)
+        assert fast.compute_seconds(1.0) == pytest.approx(0.5)
+        assert slow.compute_seconds(1.0) == pytest.approx(2.0)
+
+    def test_scaled_io_slows_everything(self):
+        node = NodeSpec(name="n")
+        slow = node.scaled_io(2.0)
+        assert slow.disk_read_seek == pytest.approx(2 * node.disk_read_seek)
+        assert slow.disk_read_bw == pytest.approx(node.disk_read_bw / 2)
+        assert slow.disk_write_bw == pytest.approx(node.disk_write_bw / 2)
+
+    def test_scaled_io_speeds_up(self):
+        node = NodeSpec(name="n")
+        fast = node.scaled_io(0.5)
+        assert fast.disk_read_bw == pytest.approx(2 * node.disk_read_bw)
+
+    def test_with_replaces_fields(self):
+        node = NodeSpec(name="n").with_(cpu_power=3.0)
+        assert node.cpu_power == 3.0
+        assert node.name == "n"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cpu_power", 0.0),
+            ("cpu_power", -1.0),
+            ("memory_bytes", 0),
+            ("disk_read_bw", 0.0),
+            ("disk_write_bw", -5.0),
+            ("disk_read_seek", -1e-3),
+            ("os_cache_bytes", -1),
+        ],
+    )
+    def test_invalid_fields_raise(self, field, value):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(name="n", **{field: value})
+
+    def test_invalid_io_scale_raises(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(name="n").scaled_io(0.0)
+
+
+class TestNetworkSpec:
+    def test_transfer_linear_in_bytes(self):
+        net = NetworkSpec(fixed_latency=1e-3, latency_per_byte=1e-6)
+        assert net.transfer_seconds(1000) == pytest.approx(2e-3)
+
+    def test_zero_cost_network_allowed(self):
+        net = NetworkSpec(0.0, 0.0, 0.0, 0.0)
+        assert net.transfer_seconds(1e9) == 0.0
+
+    def test_negative_overhead_raises(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(send_overhead=-1.0)
+
+
+class TestClusterSpec:
+    def test_len_iter_getitem(self, base_cluster):
+        assert len(base_cluster) == N_NODES
+        assert base_cluster[0].name == "node0"
+        assert [n.name for n in base_cluster][-1] == "node7"
+
+    def test_aggregate_views(self, hetero_cluster):
+        assert hetero_cluster.cpu_powers.shape == (8,)
+        assert hetero_cluster.memory_bytes.dtype == np.int64
+        assert hetero_cluster.total_memory_bytes == int(
+            hetero_cluster.memory_bytes.sum()
+        )
+
+    def test_cpu_homogeneity(self, base_cluster, hetero_cluster):
+        assert base_cluster.is_cpu_homogeneous
+        assert not hetero_cluster.is_cpu_homogeneous
+
+    def test_memory_pressure_ratio(self, base_cluster):
+        total = base_cluster.total_memory_bytes
+        assert base_cluster.memory_pressure(total) == pytest.approx(1.0)
+        assert base_cluster.memory_pressure(total // 2) == pytest.approx(0.5)
+
+    def test_replace_node(self, base_cluster):
+        new = base_cluster.replace_node(3, baseline_node(3).with_(cpu_power=9.0))
+        assert new[3].cpu_power == 9.0
+        assert base_cluster[3].cpu_power == 1.0  # original untouched
+
+    def test_duplicate_names_raise(self):
+        node = NodeSpec(name="same")
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(name="c", nodes=(node, node))
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(name="c", nodes=())
+
+    def test_describe_mentions_every_node(self, base_cluster):
+        text = base_cluster.describe()
+        for i in range(N_NODES):
+            assert f"node{i}" in text
+
+
+class TestTable1Configs:
+    def test_all_four_present(self):
+        configs = table1_configs()
+        assert set(configs) == {"DC", "IO", "HY1", "HY2"}
+        for c in configs.values():
+            assert c.n_nodes == N_NODES
+
+    def test_dc_matches_description(self):
+        dc = config_dc()
+        powers = sorted(n.cpu_power for n in dc.nodes)
+        assert powers[0] < 1.0 and powers[1] < 1.0  # two lower
+        assert powers[-1] > 1.0 and powers[-2] > 1.0  # two higher
+        assert powers[2:6] == [1.0] * 4  # the rest unchanged
+        # Memories ample: I/O is not a concern in DC.
+        assert all(n.memory_bytes >= mib(512) for n in dc.nodes)
+
+    def test_io_matches_description(self):
+        io = config_io()
+        assert io.is_cpu_homogeneous
+        small = [n for n in io.nodes if n.memory_bytes <= mib(48)]
+        assert len(small) == N_NODES // 2
+        base = baseline_node(0)
+        for n in small:
+            assert n.disk_read_bw < base.disk_read_bw  # high I/O latency
+
+    def test_hy1_matches_description(self):
+        hy1 = config_hy1()
+        varying = {n.cpu_power for n in hy1.nodes[:4]}
+        assert len(varying) == 4  # four distinct powers
+        base = baseline_node(0)
+        for n in hy1.nodes[4:]:
+            assert n.memory_bytes < base.memory_bytes  # small memories
+            assert n.disk_read_bw > base.disk_read_bw  # low I/O latency
+
+    def test_hy2_matches_description(self):
+        hy2 = config_hy2()
+        varying = {n.cpu_power for n in hy2.nodes[:4]}
+        assert len(varying) == 4
+        base = baseline_node(0)
+        slow = [n for n in hy2.nodes if n.disk_read_bw < base.disk_read_bw]
+        assert len(slow) == 2  # two high I/O latency
+        large = [n for n in hy2.nodes if n.memory_bytes > base.memory_bytes]
+        assert len(large) == 2  # two large memories
+
+    def test_os_cache_constant_across_configs(self):
+        # The page cache is physical hardware: never varied by emulation.
+        caches = {
+            n.os_cache_bytes
+            for c in table1_configs().values()
+            for n in c.nodes
+        }
+        assert len(caches) == 1
+
+
+class TestSuites:
+    def test_architecture_suite_size_and_names(self):
+        suite = architecture_suite()
+        assert len(suite) == 17
+        names = [c.name for c in suite]
+        assert names[:4] == ["DC", "IO", "HY1", "HY2"]
+        assert len(set(names)) == 17
+
+    def test_prefetch_suite_size(self):
+        suite = prefetch_suite()
+        assert len(suite) == 12
+
+    def test_prefetch_suite_has_memory_pressure(self):
+        base = baseline_node(0)
+        for arch in prefetch_suite():
+            assert any(n.memory_bytes < base.memory_bytes for n in arch.nodes)
+
+    def test_suites_deterministic(self):
+        a = architecture_suite()
+        b = architecture_suite()
+        for ca, cb in zip(a, b):
+            assert ca == cb
+
+    def test_truncated_suite(self):
+        assert len(architecture_suite(2)) == 2
+        assert len(prefetch_suite(3)) == 3

@@ -1,0 +1,132 @@
+"""Unit tests for the disk + page-cache model."""
+
+import pytest
+
+from repro.cluster.node import NodeSpec
+from repro.exceptions import SimulationError
+from repro.sim.disk import DiskModel
+from repro.util.units import mib
+
+
+def make_node(**kw):
+    defaults = dict(
+        name="n",
+        disk_read_seek=0.01,
+        disk_write_seek=0.02,
+        disk_read_bw=100e6,
+        disk_write_bw=50e6,
+        os_cache_bytes=mib(32),
+    )
+    defaults.update(kw)
+    return NodeSpec(**defaults)
+
+
+class TestColdReads:
+    def test_read_is_seek_plus_transfer(self):
+        disk = DiskModel(make_node(), cache_enabled=False)
+        op = disk.submit_read(0.0, "v", 100e6)
+        assert op.done - op.start == pytest.approx(0.01 + 1.0)
+        assert op.cached_fraction == 0.0
+
+    def test_write_is_seek_plus_transfer(self):
+        disk = DiskModel(make_node())
+        op = disk.submit_write(0.0, "v", 50e6)
+        assert op.done - op.start == pytest.approx(0.02 + 1.0)
+
+    def test_serial_device_queues(self):
+        disk = DiskModel(make_node(), cache_enabled=False)
+        first = disk.submit_read(0.0, "v", 100e6)
+        second = disk.submit_read(0.0, "v", 100e6)
+        assert second.start == pytest.approx(first.done)
+
+    def test_idle_gap_not_charged(self):
+        disk = DiskModel(make_node(), cache_enabled=False)
+        disk.submit_read(0.0, "v", 100e6)
+        late = disk.submit_read(100.0, "v", 100e6)
+        assert late.start == pytest.approx(100.0)
+
+
+class TestCacheWarming:
+    def test_first_pass_is_cold(self):
+        disk = DiskModel(make_node())
+        disk.register_variable("v", mib(16))
+        op = disk.submit_read(0.0, "v", mib(16))
+        assert op.cached_fraction == 0.0
+
+    def test_second_pass_hits(self):
+        disk = DiskModel(make_node())
+        disk.register_variable("v", mib(16))
+        disk.submit_read(0.0, "v", mib(16))  # full first pass
+        warm = disk.submit_read(100.0, "v", mib(16))
+        assert warm.cached_fraction > 0.0
+
+    def test_warm_read_is_faster(self):
+        disk = DiskModel(make_node())
+        disk.register_variable("v", mib(16))
+        cold = disk.submit_read(0.0, "v", mib(16))
+        warm = disk.submit_read(100.0, "v", mib(16))
+        assert (warm.done - warm.start) < (cold.done - cold.start)
+
+    def test_partial_pass_does_not_warm(self):
+        disk = DiskModel(make_node())
+        disk.register_variable("v", mib(16))
+        disk.submit_read(0.0, "v", mib(8))  # half a pass
+        op = disk.submit_read(1.0, "v", mib(4))
+        assert op.cached_fraction == 0.0
+
+    def test_hit_fraction_shrinks_with_ocla(self):
+        node = make_node()
+        big = DiskModel(node)
+        big.register_variable("v", mib(256))
+        small = DiskModel(node)
+        small.register_variable("v", mib(16))
+        for disk, size in ((big, mib(256)), (small, mib(16))):
+            disk.submit_read(0.0, "v", size)  # warm up
+        assert small.hit_fraction("v") > big.hit_fraction("v")
+
+    def test_resident_bytes_shrink_cache(self):
+        node = make_node()
+        free = DiskModel(node, resident_bytes=0.0)
+        squeezed = DiskModel(node, resident_bytes=mib(24))
+        for disk in (free, squeezed):
+            disk.register_variable("v", mib(32))
+            disk.submit_read(0.0, "v", mib(32))
+        assert squeezed.hit_fraction("v") < free.hit_fraction("v")
+
+    def test_cache_disabled_never_hits(self):
+        disk = DiskModel(make_node(), cache_enabled=False)
+        disk.register_variable("v", mib(8))
+        disk.submit_read(0.0, "v", mib(8))
+        assert disk.hit_fraction("v") == 0.0
+
+    def test_cache_shared_among_variables(self):
+        disk = DiskModel(make_node())
+        disk.register_variable("a", mib(16))
+        disk.register_variable("b", mib(16))
+        assert disk.cache_share("a") == pytest.approx(disk.cache_share("b"))
+        assert disk.cache_share("a") <= mib(32) / 2 + 1
+
+    def test_hit_fraction_capped_by_effectiveness(self):
+        disk = DiskModel(make_node())
+        disk.register_variable("v", mib(1))  # tiny: fully cacheable
+        disk.submit_read(0.0, "v", mib(1))
+        assert disk.hit_fraction("v") <= DiskModel.EFFECTIVENESS + 1e-12
+
+    def test_unregistered_variable_auto_registers(self):
+        disk = DiskModel(make_node())
+        disk.submit_read(0.0, "new", mib(4))
+        assert disk.hit_fraction("new") >= 0.0  # no crash
+
+    def test_negative_ocla_raises(self):
+        disk = DiskModel(make_node())
+        with pytest.raises(SimulationError):
+            disk.register_variable("v", -1.0)
+
+    def test_writes_never_cached(self):
+        disk = DiskModel(make_node())
+        disk.register_variable("v", mib(8))
+        disk.submit_read(0.0, "v", mib(8))
+        w1 = disk.submit_write(10.0, "v", mib(8))
+        w2 = disk.submit_write(20.0, "v", mib(8))
+        assert (w1.done - w1.start) == pytest.approx(w2.done - w2.start)
+        assert w1.cached_fraction == 0.0

@@ -1,0 +1,185 @@
+"""Tests for the experiment harness (small-scale runs of every artefact)."""
+
+import pytest
+
+from repro.cluster import config_dc, config_io, table1_configs
+from repro.experiments import (
+    build_model,
+    config_curves,
+    distribution_spread,
+    error_ablation,
+    fig9_accuracy,
+    model_evaluation_timing,
+    run_spectrum,
+    table1,
+)
+from repro.experiments.common import percent_difference
+from repro.apps import JacobiApp, application_by_name
+
+SCALE = 0.02  # tiny problems: full protocol, milliseconds of wall time
+
+
+class TestPercentDifference:
+    def test_symmetric_metric(self):
+        assert percent_difference(100.0, 110.0) == pytest.approx(10.0)
+        assert percent_difference(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_uses_minimum_denominator(self):
+        # |a-p| / min(a,p): the paper's definition.
+        assert percent_difference(50.0, 100.0) == pytest.approx(100.0)
+
+    def test_zero_denominator_safe(self):
+        assert percent_difference(0.0, 0.0) == 0.0
+
+
+class TestRunSpectrum:
+    def test_compares_every_point(self):
+        program = JacobiApp.paper(scale=SCALE).structure.with_iterations(3)
+        run = run_spectrum(config_io(), program, steps_per_leg=2)
+        assert len(run.points) >= 3
+        for p in run.points:
+            assert p.actual_seconds > 0
+            assert p.predicted_seconds > 0
+
+    def test_best_points_identified(self):
+        program = JacobiApp.paper(scale=SCALE).structure.with_iterations(3)
+        run = run_spectrum(config_dc(), program, steps_per_leg=2)
+        assert run.best_actual.actual_seconds == min(
+            p.actual_seconds for p in run.points
+        )
+        assert run.spread >= 1.0
+
+    def test_model_reuse(self):
+        program = JacobiApp.paper(scale=SCALE).structure.with_iterations(3)
+        cluster = config_dc()
+        model = build_model(cluster, program)
+        run = run_spectrum(cluster, program, steps_per_leg=1, model=model)
+        assert run.points
+
+
+class TestFig9:
+    def test_small_panel_aggregates(self):
+        bands = fig9_accuracy(
+            panel="all",
+            architectures=[config_dc(), config_io()],
+            scale=SCALE,
+            steps_per_leg=1,
+        )
+        assert len(bands.labels) == 5  # Blk, I-C, I-C/Bal, Bal, Blk
+        assert len(bands.runs) == 2 * 4  # 2 architectures x 4 apps
+        for lo, avg, hi in zip(bands.minimum, bands.average, bands.maximum):
+            assert lo <= avg <= hi
+
+    def test_panel_selection(self):
+        bands = fig9_accuracy(
+            panel="cg",
+            architectures=[config_io()],
+            scale=SCALE,
+            steps_per_leg=1,
+        )
+        assert len(bands.runs) == 1
+        assert "CG" in bands.title
+
+    def test_unknown_panel_raises(self):
+        with pytest.raises(ValueError):
+            fig9_accuracy(panel="bogus")
+
+    def test_describe_renders(self):
+        bands = fig9_accuracy(
+            panel="rna",
+            architectures=[config_dc()],
+            scale=SCALE,
+            steps_per_leg=1,
+        )
+        text = bands.describe()
+        assert "overall" in text and "%" in text
+
+    def test_prefetch_panel(self):
+        bands = fig9_accuracy(
+            panel="jacobi-prefetch",
+            architectures=[config_io()],
+            scale=SCALE,
+            steps_per_leg=1,
+        )
+        assert all(run.app_name == "jacobi" for run in bands.runs)
+
+
+class TestConfigCurves:
+    def test_one_run_per_app(self):
+        curves = config_curves(
+            "DC", steps_per_leg=1, scale=SCALE, apps=["jacobi", "rna"]
+        )
+        assert {r.app_name for r in curves.runs} == {"jacobi", "rna"}
+
+    def test_circles(self):
+        curves = config_curves(
+            "IO", steps_per_leg=2, scale=SCALE, apps=["jacobi"]
+        )
+        best_actual, best_predicted = curves.circles()["jacobi"]
+        labels = [p.label for p in curves.run("jacobi").points]
+        assert best_actual in labels and best_predicted in labels
+
+    def test_describe_renders_series(self):
+        curves = config_curves(
+            "DC", steps_per_leg=1, scale=SCALE, apps=["lanczos"]
+        )
+        text = curves.describe()
+        assert "lanczos-Actual" in text
+        assert "lanczos-Predicted" in text
+
+    def test_unknown_app_lookup_raises(self):
+        curves = config_curves(
+            "DC", steps_per_leg=1, scale=SCALE, apps=["jacobi"]
+        )
+        with pytest.raises(KeyError):
+            curves.run("cg")
+
+
+class TestTable1:
+    def test_all_configs_rendered(self):
+        text = table1()
+        for name in table1_configs():
+            assert name in text
+
+    def test_descriptions_match_paper(self):
+        text = table1()
+        assert "high I/O latency and small memories" in text
+        assert "low I/O latencies and small memories" in text
+
+
+class TestTimingClaim:
+    def test_fast_enough_for_runtime_use(self):
+        program = JacobiApp.paper(scale=SCALE).structure
+        timing = model_evaluation_timing(program=program, repeats=2)
+        assert timing.usable_on_the_fly
+        assert timing.min_ms <= timing.mean_ms <= timing.max_ms
+        assert "ms" in timing.describe()
+
+
+class TestSpread:
+    def test_spreads_at_least_one(self):
+        result = distribution_spread(
+            configs=["DC"], steps_per_leg=1, scale=SCALE
+        )
+        for value in result.spreads.values():
+            assert value >= 1.0
+
+    def test_describe_includes_paper_reference(self):
+        result = distribution_spread(
+            configs=["DC"], steps_per_leg=1, scale=SCALE
+        )
+        assert "worst/best" in result.describe()
+
+
+class TestAblation:
+    def test_effects_reported(self):
+        result = error_ablation(steps_per_leg=1, scale=SCALE)
+        assert set(result.without) == {
+            "compute-noise",
+            "cache-effects",
+            "os-read-cache",
+            "sparse-weights",
+            "runtime-overhead",
+        }
+        assert result.baseline_mean >= 0.0
+        assert "ablation" in result.describe().lower()

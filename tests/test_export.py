@@ -1,0 +1,99 @@
+"""Tests for experiment-result serialisation and trace utilities."""
+
+import pytest
+
+from repro.cluster import config_dc
+from repro.experiments import fig9_accuracy, run_spectrum
+from repro.experiments.export import (
+    accuracy_bands_to_dict,
+    load_json,
+    save_json,
+    spectrum_run_from_dict,
+    spectrum_run_to_dict,
+)
+from repro.apps import JacobiApp
+from repro.sim.trace import EventRecord, Op, TraceCollector
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    program = JacobiApp.paper(scale=0.03).structure.with_iterations(2)
+    return run_spectrum(config_dc(), program, steps_per_leg=1)
+
+
+class TestSpectrumRunExport:
+    def test_roundtrip_preserves_everything(self, small_run):
+        data = spectrum_run_to_dict(small_run)
+        restored = spectrum_run_from_dict(data)
+        assert restored == small_run
+
+    def test_summary_matches_properties(self, small_run):
+        data = spectrum_run_to_dict(small_run)
+        assert data["summary"]["mean_error_percent"] == pytest.approx(
+            small_run.mean_error_percent
+        )
+        assert data["summary"]["best_actual"] == small_run.best_actual.label
+
+    def test_file_roundtrip(self, tmp_path, small_run):
+        path = tmp_path / "run.json"
+        save_json(spectrum_run_to_dict(small_run), path)
+        restored = spectrum_run_from_dict(load_json(path))
+        assert restored == small_run
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            spectrum_run_from_dict({"kind": "something-else"})
+
+
+class TestAccuracyBandsExport:
+    def test_bands_exported_with_runs(self):
+        bands = fig9_accuracy(
+            panel="rna",
+            architectures=[config_dc()],
+            scale=0.03,
+            steps_per_leg=1,
+        )
+        data = accuracy_bands_to_dict(bands)
+        assert data["kind"] == "accuracy_bands"
+        assert len(data["labels"]) == len(bands.labels)
+        assert len(data["runs"]) == len(bands.runs)
+        assert data["overall_average_percent"] == pytest.approx(
+            bands.overall_average_percent
+        )
+
+
+def make_record(op=Op.READ, node=0, it=0, var="v", start=0.0, end=1.0):
+    return EventRecord(
+        op=op,
+        node=node,
+        iteration=it,
+        section="s",
+        tile=0,
+        stage="st",
+        variable=var,
+        start=start,
+        end=end,
+        nbytes=64.0,
+    )
+
+
+class TestTraceCollector:
+    def test_filters(self):
+        trace = TraceCollector()
+        trace(make_record(Op.READ, node=0))
+        trace(make_record(Op.WRITE, node=1))
+        trace(make_record(Op.READ, node=1, it=2))
+        assert len(trace.of_kind(Op.READ)) == 2
+        assert len(trace.for_node(1)) == 2
+        assert len(trace.for_iteration(2)) == 1
+
+    def test_total_durations(self):
+        trace = TraceCollector()
+        trace(make_record(Op.COMPUTE, node=0, start=0.0, end=2.0))
+        trace(make_record(Op.COMPUTE, node=1, start=0.0, end=3.0))
+        assert trace.total(Op.COMPUTE) == pytest.approx(5.0)
+        assert trace.total(Op.COMPUTE, node=1) == pytest.approx(3.0)
+
+    def test_duration_property(self):
+        record = make_record(start=1.5, end=4.0)
+        assert record.duration == pytest.approx(2.5)

@@ -1,0 +1,207 @@
+"""Tests for the real numeric kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import (
+    cg_solve,
+    jacobi_solve,
+    lanczos_tridiagonalize,
+    make_sparse_spd_matrix,
+    multigrid_solve,
+    rna_fold,
+)
+from repro.apps.kernels.lanczos_kernel import make_spd_dense
+from repro.apps.kernels.rna_kernel import random_sequence
+
+
+class TestJacobiKernel:
+    def grid(self, n=24):
+        g = np.zeros((n, n))
+        g[0, :] = 1.0
+        return g
+
+    def test_converges_on_laplace(self):
+        result = jacobi_solve(self.grid(), max_iterations=5000, tolerance=1e-7)
+        assert result.converged
+
+    def test_residuals_monotone_decreasing_eventually(self):
+        result = jacobi_solve(self.grid(), max_iterations=200)
+        assert result.residuals[-1] < result.residuals[0]
+
+    def test_boundary_preserved(self):
+        result = jacobi_solve(self.grid(), max_iterations=50)
+        assert np.array_equal(result.grid[0, :], np.ones(24))
+        assert np.array_equal(result.grid[-1, :], np.zeros(24))
+
+    def test_maximum_principle(self):
+        # Interior values stay between boundary extremes.
+        result = jacobi_solve(self.grid(), max_iterations=500)
+        assert result.grid.min() >= 0.0 - 1e-12
+        assert result.grid.max() <= 1.0 + 1e-12
+
+    def test_input_not_mutated(self):
+        g = self.grid()
+        copy = g.copy()
+        jacobi_solve(g, max_iterations=10)
+        assert np.array_equal(g, copy)
+
+    def test_too_small_grid_raises(self):
+        with pytest.raises(ValueError):
+            jacobi_solve(np.zeros((2, 2)))
+
+
+class TestCgKernel:
+    def test_solves_spd_system(self):
+        a = make_sparse_spd_matrix(120, avg_nnz=6)
+        b = np.ones(120)
+        result = cg_solve(a, b, max_iterations=200, tolerance=1e-10)
+        assert result.converged
+        assert np.linalg.norm(a.matvec(result.x) - b) < 1e-8
+
+    def test_residuals_recorded(self):
+        a = make_sparse_spd_matrix(60, avg_nnz=4)
+        result = cg_solve(a, np.ones(60), max_iterations=10, tolerance=0.0)
+        assert len(result.residual_norms) == result.iterations + 1
+
+    def test_matrix_is_symmetric(self):
+        a = make_sparse_spd_matrix(50, avg_nnz=5)
+        dense = np.zeros((50, 50))
+        for i in range(50):
+            for j_idx in range(a.indptr[i], a.indptr[i + 1]):
+                dense[i, a.indices[j_idx]] = a.data[j_idx]
+        assert np.allclose(dense, dense.T)
+
+    def test_row_nnz_varies(self):
+        a = make_sparse_spd_matrix(200, avg_nnz=8)
+        nnz = a.row_nnz()
+        assert nnz.min() < nnz.max()
+
+    def test_matvec_matches_dense(self):
+        a = make_sparse_spd_matrix(40, avg_nnz=5)
+        dense = np.zeros((40, 40))
+        for i in range(40):
+            for j_idx in range(a.indptr[i], a.indptr[i + 1]):
+                dense[i, a.indices[j_idx]] = a.data[j_idx]
+        x = np.arange(40, dtype=float)
+        assert np.allclose(a.matvec(x), dense @ x)
+
+    def test_deterministic_matrix(self):
+        a = make_sparse_spd_matrix(50, avg_nnz=5)
+        b = make_sparse_spd_matrix(50, avg_nnz=5)
+        assert np.array_equal(a.data, b.data)
+
+    def test_x0_respected(self):
+        a = make_sparse_spd_matrix(30, avg_nnz=4)
+        b = np.ones(30)
+        exact = cg_solve(a, b, max_iterations=100, tolerance=1e-12).x
+        warm = cg_solve(a, b, max_iterations=1, tolerance=1e-12, x0=exact)
+        assert warm.converged
+
+
+class TestLanczosKernel:
+    def test_extreme_ritz_values_converge(self):
+        a = make_spd_dense(48)
+        result = lanczos_tridiagonalize(a, iterations=24)
+        true = np.linalg.eigvalsh(a)
+        ritz = result.ritz_values()
+        assert ritz[-1] == pytest.approx(true[-1], rel=1e-3)
+
+    def test_basis_orthonormal(self):
+        a = make_spd_dense(32)
+        result = lanczos_tridiagonalize(a, iterations=8)
+        gram = result.basis @ result.basis.T
+        assert np.allclose(gram, np.eye(len(result.alphas)), atol=1e-8)
+
+    def test_tridiagonal_shape(self):
+        a = make_spd_dense(16)
+        result = lanczos_tridiagonalize(a, iterations=5)
+        t = result.tridiagonal
+        assert t.shape == (5, 5)
+        assert np.allclose(t, t.T)
+        # Entries beyond the first off-diagonals are zero.
+        assert t[0, 2] == 0.0
+
+    def test_asymmetric_matrix_raises(self):
+        m = np.arange(16, dtype=float).reshape(4, 4)
+        with pytest.raises(ValueError):
+            lanczos_tridiagonalize(m)
+
+    def test_iterations_capped_by_dimension(self):
+        a = make_spd_dense(6)
+        result = lanczos_tridiagonalize(a, iterations=50)
+        assert len(result.alphas) <= 6
+
+
+class TestRnaKernel:
+    def test_known_fold(self):
+        # GGGAAACCC: the three G-C pairs close a hairpin.
+        result = rna_fold("GGGAAACCC", min_loop=3)
+        assert result.best_pairs == 3
+
+    def test_no_pairs_possible(self):
+        result = rna_fold("AAAAAA")
+        assert result.best_pairs == 0
+        assert result.pairing == []
+
+    def test_traceback_consistent_with_score(self):
+        seq = random_sequence(48)
+        result = rna_fold(seq)
+        assert len(result.pairing) == result.best_pairs
+
+    def test_traceback_pairs_are_valid(self):
+        seq = random_sequence(40)
+        result = rna_fold(seq, min_loop=3)
+        pairs = {("A", "U"), ("U", "A"), ("C", "G"), ("G", "C"),
+                 ("G", "U"), ("U", "G")}
+        used = set()
+        for i, j in result.pairing:
+            assert (seq[i], seq[j]) in pairs
+            assert j - i > 3  # min loop respected
+            assert i not in used and j not in used
+            used.update((i, j))
+
+    def test_min_loop_enforced(self):
+        # With min_loop=3 a pair needs at least three unpaired bases in
+        # between: GAAC (two) cannot pair, GAAAC (three) can.
+        assert rna_fold("GAAC", min_loop=3).best_pairs == 0
+        assert rna_fold("GAAAC", min_loop=3).best_pairs == 1
+
+    def test_invalid_letters_raise(self):
+        with pytest.raises(ValueError):
+            rna_fold("ACGT")  # T is DNA
+
+    def test_empty_sequence(self):
+        assert rna_fold("").best_pairs == 0
+
+    def test_table_is_wavefront_monotone(self):
+        seq = random_sequence(30)
+        table = rna_fold(seq).table
+        # Scores grow with subsequence span.
+        for i in range(5):
+            row = table[i, i:]
+            assert all(np.diff(row) >= 0)
+
+
+class TestMultigridKernel:
+    def rhs(self, n=129):
+        x = np.linspace(0, 1, n)
+        return np.sin(np.pi * x) * np.pi**2, np.sin(np.pi * x)
+
+    def test_converges_to_analytic_solution(self):
+        f, exact = self.rhs()
+        result = multigrid_solve(f, cycles=40, tolerance=1e-9)
+        assert np.abs(result.solution - exact).max() < 1e-4
+
+    def test_residuals_decrease(self):
+        f, _ = self.rhs()
+        result = multigrid_solve(f, cycles=10, tolerance=0.0)
+        assert result.residual_norms[-1] < result.residual_norms[0] / 10
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(ValueError):
+            multigrid_solve(np.ones(100))
+
+    def test_zero_rhs_gives_zero_solution(self):
+        result = multigrid_solve(np.zeros(65), cycles=2)
+        assert np.abs(result.solution).max() < 1e-12

@@ -1,0 +1,144 @@
+"""Tests for the distribution-search algorithms."""
+
+import pytest
+
+from repro.core import MhetaModel
+from repro.distribution import balanced, block
+from repro.exceptions import SearchError
+from repro.instrument import collect_inputs
+from repro.instrument.collect import MeasurementConfig
+from repro.search import (
+    EvaluationCache,
+    GeneralizedBinarySearch,
+    GeneticSearch,
+    RandomSearch,
+    SimulatedAnnealingSearch,
+    SpectrumSweep,
+)
+from repro.sim import PerturbationConfig
+from tests.conftest import make_jacobi_like
+
+
+@pytest.fixture(scope="module")
+def search_setup():
+    """A heterogeneous cluster + model where Bal clearly beats Blk."""
+    from repro.cluster import baseline_cluster
+
+    cluster = baseline_cluster(name="search-test")
+    nodes = [
+        n.with_(cpu_power=[0.25, 0.5, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0][i])
+        for i, n in enumerate(cluster.nodes)
+    ]
+    cluster = cluster.with_nodes(nodes)
+    program = make_jacobi_like(n_rows=2048, cols=512, iterations=5)
+    inputs = collect_inputs(
+        cluster,
+        program,
+        block(cluster, program.n_rows),
+        perturbation=PerturbationConfig.none(),
+        measurement=MeasurementConfig.perfect(),
+    )
+    model = MhetaModel(program, cluster, inputs)
+    return cluster, program, model
+
+
+class TestEvaluationCache:
+    def test_caches_repeats(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        d = block(cluster, program.n_rows)
+        cache(d)
+        cache(d)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_distinct_candidates_counted(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        cache(block(cluster, program.n_rows))
+        cache(balanced(cluster, program.n_rows))
+        assert cache.evaluations == 2
+
+
+ALGORITHMS = ["gbs", "genetic", "annealing", "random", "sweep"]
+
+
+def make_search(name, model, cluster):
+    if name == "gbs":
+        return GeneralizedBinarySearch(model, cluster)
+    if name == "genetic":
+        return GeneticSearch(model, population=8, generations=5)
+    if name == "annealing":
+        return SimulatedAnnealingSearch(model, steps=60)
+    if name == "random":
+        return RandomSearch(model, samples=40)
+    return SpectrumSweep(model, cluster, steps_per_leg=4)
+
+
+class TestAllAlgorithms:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_beats_block_distribution(self, name, search_setup):
+        cluster, program, model = search_setup
+        blk_time = model.predict_seconds(block(cluster, program.n_rows))
+        result = make_search(name, model, cluster).search(budget=120)
+        assert result.predicted_seconds <= blk_time
+        assert result.best.n_rows == program.n_rows
+        assert min(result.best.counts) >= 1
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_budget_respected(self, name, search_setup):
+        cluster, program, model = search_setup
+        result = make_search(name, model, cluster).search(budget=25)
+        assert result.evaluations <= 25
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_deterministic(self, name, search_setup):
+        cluster, program, model = search_setup
+        a = make_search(name, model, cluster).search(budget=60)
+        b = make_search(name, model, cluster).search(budget=60)
+        assert a.best == b.best
+        assert a.predicted_seconds == b.predicted_seconds
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_trajectory_monotone(self, name, search_setup):
+        cluster, program, model = search_setup
+        result = make_search(name, model, cluster).search(budget=60)
+        traj = result.trajectory
+        assert all(b <= a for a, b in zip(traj, traj[1:]))
+
+
+class TestGbsQuality:
+    def test_gbs_close_to_exhaustive_sweep(self, search_setup):
+        cluster, program, model = search_setup
+        gbs = GeneralizedBinarySearch(model, cluster).search(budget=150)
+        sweep = SpectrumSweep(model, cluster, steps_per_leg=16).search(
+            budget=200
+        )
+        assert gbs.predicted_seconds <= sweep.predicted_seconds * 1.05
+
+    def test_gbs_finds_balanced_for_cpu_only_heterogeneity(self, search_setup):
+        cluster, program, model = search_setup
+        result = GeneralizedBinarySearch(model, cluster).search(budget=150)
+        bal_time = model.predict_seconds(
+            balanced(cluster, program.n_rows)
+        )
+        assert result.predicted_seconds <= bal_time * 1.02
+
+
+class TestSearchValidation:
+    def test_zero_budget_raises(self, search_setup):
+        cluster, program, model = search_setup
+        with pytest.raises(SearchError):
+            RandomSearch(model).search(budget=0)
+
+    def test_start_distribution_used(self, search_setup):
+        cluster, program, model = search_setup
+        start = balanced(cluster, program.n_rows)
+        result = RandomSearch(model, samples=0).search(budget=5, start=start)
+        assert result.best == start
+
+    def test_result_str(self, search_setup):
+        cluster, program, model = search_setup
+        result = RandomSearch(model, samples=5).search(budget=10)
+        text = str(result)
+        assert "random" in text and "evaluations" in text

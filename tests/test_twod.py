@@ -1,0 +1,263 @@
+"""Tests for the 2-D distribution extension (paper Section 5.1)."""
+
+import pytest
+
+from repro.cluster import baseline_cluster
+from repro.exceptions import DistributionError, SimulationError
+from repro.instrument.collect import MeasurementConfig
+from repro.sim import PerturbationConfig
+from repro.twod import (
+    GenBlock2D,
+    Jacobi2DSpec,
+    TwoDEmulator,
+    balanced2d,
+    block2d,
+    build_2d_model,
+    factor_pairs,
+    search_space_growth,
+)
+from repro.twod.search_space import one_d_candidates, two_d_candidates
+from repro.util.units import mib
+
+IDEAL = PerturbationConfig.none()
+PERFECT = MeasurementConfig.perfect()
+
+
+@pytest.fixture
+def cluster2d():
+    base = baseline_cluster()
+    powers = [1.0, 0.5, 2.0, 1.0, 1.0, 1.5, 1.0, 1.0]
+    memories = [96, 4, 96, 8, 96, 96, 4, 96]
+    nodes = [
+        n.with_(cpu_power=powers[i], memory_bytes=mib(memories[i]))
+        for i, n in enumerate(base.nodes)
+    ]
+    return base.with_nodes(nodes, name="mixed2d")
+
+
+class TestGenBlock2D:
+    def test_grid_structure(self):
+        d = GenBlock2D([10, 20], [5, 5, 10])
+        assert d.grid_shape == (2, 3)
+        assert d.n_nodes == 6
+        assert d.n_rows == 30
+        assert d.n_cols == 20
+
+    def test_rank_coords_roundtrip(self):
+        d = GenBlock2D([1, 1, 1], [1, 1])
+        for rank in range(6):
+            i, j = d.coords(rank)
+            assert d.rank(i, j) == rank
+
+    def test_tile_sizes(self):
+        d = GenBlock2D([10, 20], [5, 15])
+        assert d.tile(0) == (10, 5)
+        assert d.tile(3) == (20, 15)
+        assert d.tile_elements(3) == 300
+
+    def test_neighbors_interior_and_corner(self):
+        d = GenBlock2D([1, 1, 1], [1, 1, 1])  # 3x3
+        centre = d.rank(1, 1)
+        assert len(d.neighbors(centre)) == 4
+        corner = d.rank(0, 0)
+        directions = {direction for direction, _ in d.neighbors(corner)}
+        assert directions == {"south", "east"}
+
+    def test_halo_sizes(self):
+        d = GenBlock2D([10, 20], [5, 15])
+        assert d.halo_elements(0, "south") == 5  # a row of the tile
+        assert d.halo_elements(0, "east") == 10  # a column of the tile
+
+    def test_invalid_construction(self):
+        with pytest.raises(DistributionError):
+            GenBlock2D([], [1])
+        with pytest.raises(DistributionError):
+            GenBlock2D([-1], [1])
+
+    def test_out_of_range_rank(self):
+        d = GenBlock2D([1], [1])
+        with pytest.raises(DistributionError):
+            d.coords(1)
+
+
+class TestFactories:
+    def test_factor_pairs(self):
+        assert factor_pairs(8) == [(1, 8), (2, 4), (4, 2), (8, 1)]
+        assert factor_pairs(7) == [(1, 7), (7, 1)]
+
+    def test_block2d_even(self):
+        d = block2d(100, 200, (2, 4))
+        assert set(d.row_counts) == {50}
+        assert set(d.col_counts) == {50}
+
+    def test_balanced2d_follows_powers(self, cluster2d):
+        d = balanced2d(cluster2d, 1000, 1000, (2, 4))
+        # Grid row 1 holds nodes 4-7 (total power 4.5) vs row 0 (4.5):
+        # equal, so bands are even; columns follow column power sums.
+        assert d.n_rows == 1000 and d.n_cols == 1000
+        powers = cluster2d.cpu_powers.reshape(2, 4)
+        col_weights = powers.sum(axis=0)
+        heaviest = int(col_weights.argmax())
+        assert d.col_counts[heaviest] == max(d.col_counts)
+
+    def test_balanced2d_wrong_grid_raises(self, cluster2d):
+        with pytest.raises(DistributionError):
+            balanced2d(cluster2d, 100, 100, (3, 3))
+
+
+class TestTwoDExactness:
+    @pytest.mark.parametrize("shape", [(2, 4), (4, 2), (8, 1), (1, 8)])
+    def test_model_matches_emulator(self, cluster2d, shape):
+        spec = Jacobi2DSpec(n_rows=1024, n_cols=1024, iterations=3)
+        d0 = block2d(spec.n_rows, spec.n_cols, shape)
+        model = build_2d_model(
+            cluster2d, spec, d0, perturbation=IDEAL, measurement=PERFECT
+        )
+        emulator = TwoDEmulator(cluster2d, spec, IDEAL)
+        for dist in (
+            d0,
+            balanced2d(cluster2d, spec.n_rows, spec.n_cols, shape),
+        ):
+            actual = emulator.run(dist)
+            assert model.predict_seconds(dist) == pytest.approx(
+                actual, rel=1e-9
+            )
+
+    def test_cross_distribution_prediction(self, cluster2d):
+        spec = Jacobi2DSpec(n_rows=1024, n_cols=1024, iterations=3)
+        d0 = block2d(spec.n_rows, spec.n_cols, (2, 4))
+        target = GenBlock2D([700, 324], [200, 300, 400, 124])
+        model = build_2d_model(
+            cluster2d, spec, d0, perturbation=IDEAL, measurement=PERFECT
+        )
+        actual = TwoDEmulator(cluster2d, spec, IDEAL).run(target)
+        assert model.predict_seconds(target) == pytest.approx(
+            actual, rel=1e-9
+        )
+
+    def test_out_of_core_tiles_stream(self, cluster2d):
+        # Node 1 has 4 MiB; a 2048x512 tile of doubles is 8 MiB.
+        spec = Jacobi2DSpec(n_rows=4096, n_cols=2048, iterations=2)
+        d = block2d(spec.n_rows, spec.n_cols, (2, 4))
+        small = TwoDEmulator(cluster2d, spec, IDEAL).run(d)
+        roomy_cluster = cluster2d.with_nodes(
+            [n.with_(memory_bytes=mib(512)) for n in cluster2d.nodes]
+        )
+        roomy = TwoDEmulator(roomy_cluster, spec, IDEAL).run(d)
+        assert small > roomy  # streaming costs extra
+
+    def test_accuracy_with_perturbations(self, cluster2d):
+        spec = Jacobi2DSpec(n_rows=1024, n_cols=1024, iterations=5)
+        d0 = block2d(spec.n_rows, spec.n_cols, (2, 4))
+        model = build_2d_model(cluster2d, spec, d0)
+        emulator = TwoDEmulator(cluster2d, spec)
+        actual = emulator.run(d0)
+        predicted = model.predict_seconds(d0)
+        assert abs(predicted - actual) / actual < 0.10
+
+    def test_wrong_coverage_raises(self, cluster2d):
+        spec = Jacobi2DSpec(n_rows=1024, n_cols=1024, iterations=2)
+        emulator = TwoDEmulator(cluster2d, spec, IDEAL)
+        with pytest.raises(SimulationError):
+            emulator.run(block2d(512, 1024, (2, 4)))
+        with pytest.raises(SimulationError):
+            emulator.run(block2d(1024, 1024, (2, 2)))
+
+
+class TestTwoDBeatsOneD:
+    def test_square_decomposition_cuts_halo_traffic(self):
+        """The reason 2-D decomposition exists: on a homogeneous cluster
+        a 2x4 grid exchanges less halo data than 1x8 strips, so a
+        communication-heavy stencil runs faster."""
+        cluster = baseline_cluster(name="homog2d")
+        # Tiny per-element work and a slow network make halos dominate.
+        slow_net = cluster.network.with_(latency_per_byte=2e-7)
+        from repro.cluster import ClusterSpec
+
+        cluster = ClusterSpec(
+            name=cluster.name, nodes=cluster.nodes, network=slow_net
+        )
+        spec = Jacobi2DSpec(
+            n_rows=2048, n_cols=2048, iterations=4, work_per_element=2e-9
+        )
+        emulator = TwoDEmulator(cluster, spec, IDEAL)
+        strips = emulator.run(block2d(spec.n_rows, spec.n_cols, (8, 1)))
+        grid = emulator.run(block2d(spec.n_rows, spec.n_cols, (2, 4)))
+        assert grid < strips
+
+
+class TestSearchSpace:
+    def test_one_d_counts_are_compositions(self):
+        # 8 units into 8 nodes: exactly one layout.
+        assert one_d_candidates(8, 8) == 1
+        # 16 units into 8 nodes: C(15, 7).
+        assert one_d_candidates(8, 16) == 6435
+        assert one_d_candidates(8, 4) == 0  # infeasible
+
+    def test_two_d_always_larger(self):
+        for g in (8, 16, 32):
+            assert two_d_candidates(8, g) > one_d_candidates(8, g)
+
+    def test_comparison_table(self):
+        comparison = search_space_growth(granularities=(8, 16))
+        assert comparison.worst_blowup > 100  # at natural granularity
+        text = comparison.describe()
+        assert "blow-up" in text
+        assert "exhaustive" in text
+
+
+class TestTwoDSearch:
+    @pytest.fixture
+    def models(self, cluster2d):
+        from repro.twod import build_2d_model
+
+        spec = Jacobi2DSpec(n_rows=512, n_cols=512, iterations=3)
+        models = {}
+        for shape in ((1, 8), (2, 4), (8, 1)):
+            d0 = block2d(spec.n_rows, spec.n_cols, shape)
+            models[shape] = build_2d_model(
+                cluster2d, spec, d0, perturbation=IDEAL, measurement=PERFECT
+            )
+        return models, spec
+
+    def test_search_beats_even_split(self, cluster2d, models):
+        from repro.twod import TwoDGbs
+
+        models_map, spec = models
+        result = TwoDGbs(models_map).search(budget=600)
+        even = models_map[(2, 4)].predict_seconds(
+            block2d(spec.n_rows, spec.n_cols, (2, 4))
+        )
+        assert result.predicted_seconds < even
+        assert result.best.n_rows == spec.n_rows
+        assert result.best.n_cols == spec.n_cols
+
+    def test_search_result_verified_by_emulator(self, cluster2d, models):
+        from repro.twod import TwoDEmulator, TwoDGbs
+
+        models_map, spec = models
+        result = TwoDGbs(models_map).search(budget=600)
+        actual = TwoDEmulator(cluster2d, spec, IDEAL).run(result.best)
+        assert actual == pytest.approx(result.predicted_seconds, rel=1e-9)
+
+    def test_budget_respected(self, models):
+        from repro.twod import TwoDGbs
+
+        models_map, _ = models
+        result = TwoDGbs(models_map).search(budget=30)
+        assert result.evaluations <= 30
+
+    def test_per_shape_reported(self, models):
+        from repro.twod import TwoDGbs
+
+        models_map, _ = models
+        result = TwoDGbs(models_map).search(budget=600)
+        assert set(result.per_shape) == set(models_map)
+        assert "grid" in str(result)
+
+    def test_empty_models_raise(self):
+        from repro.exceptions import SearchError
+        from repro.twod import TwoDGbs
+
+        with pytest.raises(SearchError):
+            TwoDGbs({})

@@ -1,0 +1,113 @@
+"""Unit tests for repro.util (units, rng, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import GLOBAL_SEED, derive_seed, stream
+from repro.util.tables import render_series, render_table
+from repro.util.units import (
+    DOUBLE,
+    GIB,
+    KIB,
+    MIB,
+    bytes_to_human,
+    gib,
+    kib,
+    mib,
+    seconds_to_human,
+)
+
+
+class TestUnits:
+    def test_constants_are_powers_of_two(self):
+        assert KIB == 2**10
+        assert MIB == 2**20
+        assert GIB == 2**30
+        assert DOUBLE == 8
+
+    def test_helpers_scale(self):
+        assert kib(1) == KIB
+        assert mib(2) == 2 * MIB
+        assert gib(3) == 3 * GIB
+
+    def test_helpers_accept_fractions(self):
+        assert mib(0.5) == MIB // 2
+
+    def test_bytes_to_human_ranges(self):
+        assert bytes_to_human(512) == "512 B"
+        assert bytes_to_human(1536) == "1.50 KiB"
+        assert bytes_to_human(3 * MIB) == "3.00 MiB"
+        assert bytes_to_human(int(2.5 * GIB)) == "2.50 GiB"
+
+    def test_seconds_to_human_ranges(self):
+        assert "us" in seconds_to_human(5e-6)
+        assert "ms" in seconds_to_human(5e-3)
+        assert seconds_to_human(12.0) == "12.00 s"
+        assert "min" in seconds_to_human(600.0)
+
+
+class TestRng:
+    def test_same_labels_same_stream(self):
+        a = stream("x", 1).random(5)
+        b = stream("x", 1).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = stream("x", 1).random(5)
+        b = stream("x", 2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_label_concatenation_is_unambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_root_seed_changes_everything(self):
+        assert derive_seed("x", root=1) != derive_seed("x", root=2)
+
+    def test_seed_is_63_bit_non_negative(self):
+        for label in range(50):
+            s = derive_seed(label)
+            assert 0 <= s < 2**63
+
+    def test_global_seed_is_stable(self):
+        # Pinned: changing this re-rolls every experiment in the repo.
+        assert GLOBAL_SEED == 20051112
+
+    def test_numeric_vs_string_labels_distinct(self):
+        assert derive_seed(1) != derive_seed("1")
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_format(self):
+        out = render_table(["x"], [[1.23456]], float_fmt=".1f")
+        assert "1.2" in out and "1.23" not in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_bools_render_as_words(self):
+        out = render_table(["x"], [[True]])
+        assert "True" in out
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        out = render_series("x", [1, 2], {"y": [3.0, 4.0], "z": [5.0, 6.0]})
+        assert "y" in out.splitlines()[0]
+        assert "z" in out.splitlines()[0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"y": [3.0]})
