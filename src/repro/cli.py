@@ -93,6 +93,27 @@ def _add_common(parser: argparse.ArgumentParser, config: bool = True) -> None:
         )
 
 
+def _add_jobs(parser: argparse.ArgumentParser, cache: bool = False) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the embarrassingly parallel parts "
+        "(1 = serial, 0 = one per CPU; results are bit-identical)",
+    )
+    if cache:
+        parser.add_argument(
+            "--cache", default=None, metavar="PATH",
+            help="on-disk memoisation cache for (actual, predicted) "
+            "pairs; repeated invocations skip redundant emulation",
+        )
+
+
+def _sweep_cache(args):
+    from repro.parallel import SweepCache
+
+    path = getattr(args, "cache", None)
+    return SweepCache(path) if path is not None else None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -108,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefetch", action="store_true")
     p.add_argument("--chart", action="store_true", help="ASCII chart too")
     _add_common(p)
+    _add_jobs(p, cache=True)
 
     p = sub.add_parser("predict", help="MHETA prediction for one distribution")
     p.add_argument("app", choices=APPS)
@@ -141,9 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("search", help="distribution search driven by MHETA")
     p.add_argument("app", choices=APPS)
-    p.add_argument("--algorithm", choices=ALGORITHMS, default="gbs")
+    p.add_argument(
+        "--algorithm", choices=ALGORITHMS + ("all",), default="gbs"
+    )
     p.add_argument("--budget", type=int, default=150)
+    p.add_argument(
+        "--verify", action="store_true",
+        help="run the emulator on each winner and report the actual time",
+    )
     _add_common(p)
+    _add_jobs(p)
 
     p = sub.add_parser("adaptive", help="the Section-6 adaptive runtime")
     p.add_argument("app", choices=APPS)
@@ -158,12 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=2)
     p.add_argument("--chart", action="store_true", help="ASCII chart too")
     _add_common(p, config=False)
+    _add_jobs(p, cache=True)
 
     sub.add_parser("timing", help="model evaluation cost (paper: ~5.4 ms)")
 
     p = sub.add_parser("spreads", help="best-vs-worst distribution spreads")
     p.add_argument("--steps", type=int, default=2)
     _add_common(p, config=False)
+    _add_jobs(p)
 
     p = sub.add_parser("ablation", help="error-source ablation (CG on IO)")
     p.add_argument("--steps", type=int, default=2)
@@ -178,7 +209,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_sweep(args) -> str:
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale, args.prefetch)
-    run = run_spectrum(cluster, program, steps_per_leg=args.steps)
+    cache = _sweep_cache(args)
+    run = run_spectrum(
+        cluster,
+        program,
+        steps_per_leg=args.steps,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    if cache is not None:
+        cache.save()
     from repro.util.tables import render_table
 
     rows = [
@@ -256,6 +296,8 @@ def _cmd_predict(args) -> str:
 
 
 def _cmd_search(args) -> str:
+    from repro.parallel import verify_distributions
+
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
     model = build_model(cluster, program)
@@ -266,13 +308,26 @@ def _cmd_search(args) -> str:
         "random": lambda: RandomSearch(model),
         "sweep": lambda: SpectrumSweep(model, cluster),
     }
-    result = factories[args.algorithm]().search(budget=args.budget)
+    names = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    results = [factories[n]().search(budget=args.budget) for n in names]
     blk = model.predict_seconds(block(cluster, program.n_rows))
-    return (
-        f"{result}\n"
-        f"Blk predicts {blk:.3f}s -> "
-        f"{(1 - result.predicted_seconds / blk) * 100:.1f}% improvement"
-    )
+    out = []
+    for result in results:
+        out.append(
+            f"{result}\n"
+            f"Blk predicts {blk:.3f}s -> "
+            f"{(1 - result.predicted_seconds / blk) * 100:.1f}% improvement"
+        )
+    if args.verify:
+        actuals = verify_distributions(
+            cluster, program, [r.best for r in results], jobs=args.jobs
+        )
+        for result, actual in zip(results, actuals):
+            out.append(
+                f"{result.algorithm}: emulator verifies {actual:.3f}s "
+                f"(predicted {result.predicted_seconds:.3f}s)"
+            )
+    return "\n".join(out)
 
 
 def _cmd_adaptive(args) -> str:
@@ -298,9 +353,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "adaptive":
         print(_cmd_adaptive(args))
     elif args.command == "accuracy":
+        cache = _sweep_cache(args)
         bands = fig9_accuracy(
-            panel=args.panel, scale=args.scale, steps_per_leg=args.steps
+            panel=args.panel,
+            scale=args.scale,
+            steps_per_leg=args.steps,
+            jobs=args.jobs,
+            cache=cache,
         )
+        if cache is not None:
+            cache.save()
         print(bands.describe())
         if args.chart:
             print()
@@ -310,7 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "spreads":
         print(
             distribution_spread(
-                steps_per_leg=args.steps, scale=args.scale
+                steps_per_leg=args.steps, scale=args.scale, jobs=args.jobs
             ).describe()
         )
     elif args.command == "ablation":

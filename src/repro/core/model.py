@@ -96,50 +96,90 @@ class MhetaModel:
         distribution-search evaluation function needs)."""
         return self._predict(distribution, iterations, want_report=False)
 
+    def predict_many(
+        self,
+        distributions: Sequence[GenBlock],
+        iterations: Optional[int] = None,
+    ) -> List[float]:
+        """Batched :meth:`predict_seconds` over candidate distributions.
+
+        The per-node stage tables depend only on ``(node, rows)`` — not
+        on what the *other* nodes were assigned — so candidates sharing
+        row counts on a node (spectrum points share their leg
+        endpoints, search populations converge) share the table
+        construction.  Results are bit-identical to calling
+        :meth:`predict_seconds` per candidate: the memo only reuses
+        values the serial path would recompute identically.
+        """
+        memo: dict = {}
+        return [
+            self._predict(d, iterations, want_report=False, node_memo=memo)
+            for d in distributions
+        ]
+
     # -- implementation -------------------------------------------------------------
 
+    def _node_tables(self, n: int, rows: int, plan):
+        """Per section, for one node: tile stage-times (total and
+        compute-only) plus the message source-read cost."""
+        out = []
+        for section in self.program.sections:
+            totals: List[float] = []
+            computes: List[float] = []
+            for tile in range(section.tiles):
+                trows = _tile_rows(rows, section.tiles, tile)
+                c_sum = 0.0
+                t_sum = 0.0
+                for stage in section.stages:
+                    st = self.stage_model.tile_stage_times(
+                        n, rows, section, stage, trows, plan
+                    )
+                    c_sum += st.compute_seconds
+                    t_sum += st.total
+                totals.append(t_sum)
+                computes.append(c_sum)
+            read = 0.0
+            src = section.comm.source_variable
+            if (
+                src is not None
+                and section.comm.pattern is CommPattern.NEAREST_NEIGHBOR
+            ):
+                placement = plan.placements.get(src)
+                if placement is not None and not placement.in_core:
+                    read = self.stage_model.read_block_seconds(
+                        n, src, section.comm.message_bytes
+                    )
+            out.append((totals, computes, read))
+        return out
+
     def _section_tables(
-        self, distribution: GenBlock
+        self, distribution: GenBlock, node_memo: Optional[dict] = None
     ) -> List[Tuple[ParallelSection, List[List[float]], List[List[float]], List[float]]]:
         """Precompute, per section: tile stage-times (split by compute and
         I/O) and per-node message source-read costs.  These are the same
         for every iteration, so the iteration loop only replays the
-        communication timeline."""
+        communication timeline.  ``node_memo`` (used by
+        :meth:`predict_many`) caches the per-``(node, rows)`` work across
+        candidate distributions."""
         P = self.n_nodes
         plans = self.oracle.plans(distribution)
+        per_node = []
+        for n in range(P):
+            rows = distribution[n]
+            if node_memo is None:
+                per_node.append(self._node_tables(n, rows, plans[n]))
+            else:
+                key = (n, rows)
+                entry = node_memo.get(key)
+                if entry is None:
+                    entry = self._node_tables(n, rows, plans[n])
+                    node_memo[key] = entry
+                per_node.append(entry)
         tables = []
-        for section in self.program.sections:
-            tile_totals: List[List[float]] = []
-            tile_compute: List[List[float]] = []
-            source_read: List[float] = [0.0] * P
-            for n in range(P):
-                rows = distribution[n]
-                totals: List[float] = []
-                computes: List[float] = []
-                for tile in range(section.tiles):
-                    trows = _tile_rows(rows, section.tiles, tile)
-                    c_sum = 0.0
-                    t_sum = 0.0
-                    for stage in section.stages:
-                        st = self.stage_model.tile_stage_times(
-                            n, rows, section, stage, trows, plans[n]
-                        )
-                        c_sum += st.compute_seconds
-                        t_sum += st.total
-                    totals.append(t_sum)
-                    computes.append(c_sum)
-                tile_totals.append(totals)
-                tile_compute.append(computes)
-                src = section.comm.source_variable
-                if (
-                    src is not None
-                    and section.comm.pattern is CommPattern.NEAREST_NEIGHBOR
-                ):
-                    placement = plans[n].placements.get(src)
-                    if placement is not None and not placement.in_core:
-                        source_read[n] = self.stage_model.read_block_seconds(
-                            n, src, section.comm.message_bytes
-                        )
+        for si, section in enumerate(self.program.sections):
+            tile_totals = [per_node[n][si][0] for n in range(P)]
+            tile_compute = [per_node[n][si][1] for n in range(P)]
+            source_read = [per_node[n][si][2] for n in range(P)]
             tables.append((section, tile_totals, tile_compute, source_read))
         return tables
 
@@ -148,6 +188,7 @@ class MhetaModel:
         distribution: GenBlock,
         iterations: Optional[int],
         want_report: bool,
+        node_memo: Optional[dict] = None,
     ):
         if distribution.n_nodes != self.n_nodes:
             raise ModelError("distribution does not match the model's nodes")
@@ -157,7 +198,7 @@ class MhetaModel:
             iterations if iterations is not None else self.program.iterations
         )
         P = self.n_nodes
-        tables = self._section_tables(distribution)
+        tables = self._section_tables(distribution, node_memo)
 
         clocks = [0.0] * P
         iter_ends: List[List[float]] = []
@@ -260,27 +301,33 @@ class MhetaModel:
                     )
                 )
             local = sum(s.compute_seconds + s.io_seconds for s in sections)
-            comm = steady[n] - local
             # Attribute the communication residual to the sections that
             # actually communicate, proportionally to their messages.
-            comm_sections = [
-                s
-                for s, (sec, *_rest) in zip(sections, tables)
+            # The residual can dip below zero when the steady-state
+            # iteration is cheaper than the summed local work (overlap);
+            # a negative "communication time" is meaningless, so clamp.
+            comm = max(steady[n] - local, 0.0)
+            comm_specs = [
+                sec.comm
+                for (sec, *_rest) in tables
                 if sec.comm.pattern is not CommPattern.NONE
             ]
-            share = comm / len(comm_sections) if comm_sections else 0.0
+            total_bytes = sum(c.message_bytes for c in comm_specs)
             final_sections = []
             for s, (sec, *_rest) in zip(sections, tables):
+                if sec.comm.pattern is CommPattern.NONE:
+                    share = 0.0
+                elif total_bytes > 0:
+                    share = comm * sec.comm.message_bytes / total_bytes
+                else:
+                    # Zero-byte messages still synchronise; split evenly.
+                    share = comm / len(comm_specs)
                 final_sections.append(
                     SectionBreakdown(
                         section=s.section,
                         compute_seconds=s.compute_seconds,
                         io_seconds=s.io_seconds,
-                        comm_seconds=(
-                            share
-                            if sec.comm.pattern is not CommPattern.NONE
-                            else 0.0
-                        ),
+                        comm_seconds=share,
                     )
                 )
             nodes.append(

@@ -16,6 +16,7 @@ __all__ = [
     "InstrumentationError",
     "ModelError",
     "SearchError",
+    "ExperimentError",
 ]
 
 
@@ -52,3 +53,9 @@ class ModelError(ReproError):
 
 class SearchError(ReproError):
     """A distribution-search algorithm was misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """An experiment produced degenerate data (e.g. a non-positive
+    execution time, which would make the paper's error metric
+    meaningless)."""

@@ -23,6 +23,8 @@ from repro.cluster.cluster import ClusterSpec
 from repro.cluster.configs import architecture_suite, prefetch_suite
 from repro.apps import paper_applications
 from repro.experiments.common import SpectrumRun, run_spectrum
+from repro.parallel.cache import SweepCache
+from repro.parallel.runner import ParallelRunner
 from repro.program.structure import ProgramStructure
 from repro.util.tables import render_table
 
@@ -109,6 +111,16 @@ def _aggregate(title: str, runs: Sequence[SpectrumRun]) -> AccuracyBands:
     )
 
 
+def _panel_task(
+    spec: Tuple[ClusterSpec, ProgramStructure, int]
+) -> SpectrumRun:
+    """Process-pool task: one (architecture, application) spectrum run."""
+    cluster, program, steps_per_leg = spec
+    return run_spectrum(
+        cluster, program, steps_per_leg=steps_per_leg, full_path=True
+    )
+
+
 def fig9_accuracy(
     panel: str = "all",
     *,
@@ -116,13 +128,19 @@ def fig9_accuracy(
     programs: Optional[Sequence[ProgramStructure]] = None,
     steps_per_leg: int = 3,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> AccuracyBands:
     """Regenerate one Figure-9 panel.
 
     ``panel``: ``"all"`` (top-left), ``"jacobi-prefetch"`` (top-right),
     ``"rna"`` (bottom-left) or ``"cg"`` (bottom-right).  ``scale``
     shrinks the applications for quick runs; ``architectures`` and
-    ``programs`` override the suites for testing.
+    ``programs`` override the suites for testing.  ``jobs`` fans the
+    independent (architecture, application) runs out over a process
+    pool; results are bit-identical to ``jobs=1``.  ``cache`` memoises
+    per-point pairs across invocations (serial path only — workers
+    cannot share it).
     """
     apps = {a.name: a for a in paper_applications(scale)}
     if panel == "all":
@@ -151,15 +169,22 @@ def fig9_accuracy(
     else:
         raise ValueError(f"unknown panel {panel!r}")
 
-    runs: List[SpectrumRun] = []
-    for cluster in suite:
-        for program in programs:
-            runs.append(
-                run_spectrum(
-                    cluster,
-                    program,
-                    steps_per_leg=steps_per_leg,
-                    full_path=True,
-                )
+    tasks = [
+        (cluster, program, steps_per_leg)
+        for cluster in suite
+        for program in programs
+    ]
+    if jobs > 1 and cache is None:
+        runs = ParallelRunner(jobs).map(_panel_task, tasks)
+    else:
+        runs = [
+            run_spectrum(
+                cluster,
+                program,
+                steps_per_leg=steps,
+                full_path=True,
+                cache=cache,
             )
+            for cluster, program, steps in tasks
+        ]
     return _aggregate(title, runs)

@@ -6,6 +6,16 @@ real application (here: the emulator) and MHETA over the candidate
 distributions and compare.  Percent difference is "the absolute
 difference divided by the minimum of each application's predicted and
 actual execution times" (Section 5.2.1).
+
+``run_spectrum`` is the primitive every sweep experiment reduces to.
+It deduplicates spectrum points, predicts them in one batched
+:meth:`~repro.core.model.MhetaModel.predict_many` call, optionally fans
+the independent emulator runs out over a process pool
+(:class:`~repro.parallel.ParallelRunner`) and consults a content-keyed
+:class:`~repro.parallel.SweepCache`.  All of that is bit-identical to
+the plain serial loop: per-run seeded RNG streams make emulator runs
+order- and process-independent, and results are reassembled in point
+order.
 """
 
 from __future__ import annotations
@@ -16,8 +26,12 @@ from typing import List, Optional, Tuple
 from repro.cluster.cluster import ClusterSpec
 from repro.core.model import MhetaModel
 from repro.distribution.factories import block
+from repro.distribution.genblock import GenBlock
 from repro.distribution.spectrum import spectrum
+from repro.exceptions import ExperimentError
 from repro.instrument.collect import collect_inputs
+from repro.parallel.cache import SweepCache
+from repro.parallel.runner import ParallelRunner
 from repro.program.structure import ProgramStructure
 from repro.sim.executor import ClusterEmulator
 from repro.sim.perturbation import PerturbationConfig
@@ -26,10 +40,19 @@ __all__ = ["PointComparison", "SpectrumRun", "build_model", "run_spectrum"]
 
 
 def percent_difference(actual: float, predicted: float) -> float:
-    """The paper's error metric, as a percentage."""
+    """The paper's error metric, as a percentage.
+
+    Raises :class:`~repro.exceptions.ExperimentError` when either time
+    is non-positive: the metric divides by ``min(actual, predicted)``,
+    and a run that took zero (or negative) seconds is degenerate data
+    that must not masquerade as a perfect prediction.
+    """
     denom = min(actual, predicted)
     if denom <= 0:
-        return 0.0
+        raise ExperimentError(
+            "percent_difference needs positive execution times, got "
+            f"actual={actual!r}, predicted={predicted!r} (degenerate run)"
+        )
     return abs(actual - predicted) / denom * 100.0
 
 
@@ -115,6 +138,16 @@ def build_model(
     return MhetaModel(program, cluster, inputs)
 
 
+def _emulate_task(
+    spec: Tuple[ClusterSpec, ProgramStructure, Optional[PerturbationConfig], Tuple[int, ...]]
+) -> float:
+    """Process-pool task: one independent emulator run (module-level so
+    it pickles)."""
+    cluster, program, perturbation, counts = spec
+    emulator = ClusterEmulator(cluster, program, perturbation)
+    return emulator.run(GenBlock(counts)).total_seconds
+
+
 def run_spectrum(
     cluster: ClusterSpec,
     program: ProgramStructure,
@@ -122,28 +155,62 @@ def run_spectrum(
     full_path: bool = False,
     perturbation: Optional[PerturbationConfig] = None,
     model: Optional[MhetaModel] = None,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> SpectrumRun:
-    """Compare actual vs predicted over the distribution spectrum."""
-    emulator = ClusterEmulator(cluster, program, perturbation)
-    if model is None:
-        model = build_model(cluster, program, perturbation)
-    comparisons: List[PointComparison] = []
-    seen = {}
-    for point in spectrum(cluster, program, steps_per_leg, full_path):
+    """Compare actual vs predicted over the distribution spectrum.
+
+    ``jobs`` fans the per-point emulator runs out over a process pool
+    (``1`` = serial); ``cache`` memoises ``(actual, predicted)`` pairs
+    across calls.  Neither changes the numbers — only the wall clock.
+    """
+    points = list(spectrum(cluster, program, steps_per_leg, full_path))
+
+    # Distinct distributions, in first-seen order (legs share endpoints).
+    order: List[Tuple[int, ...]] = []
+    for point in points:
         key = point.distribution.counts
-        if key in seen:
-            actual, predicted = seen[key]
+        if key not in order:
+            order.append(key)
+
+    pairs: dict = {}
+    pending: List[Tuple[int, ...]] = []
+    for key in order:
+        hit = (
+            cache.lookup(cluster, program, GenBlock(key), perturbation)
+            if cache is not None
+            else None
+        )
+        if hit is not None:
+            pairs[key] = hit
         else:
-            actual = emulator.run(point.distribution).total_seconds
-            predicted = model.predict_seconds(point.distribution)
-            seen[key] = (actual, predicted)
+            pending.append(key)
+
+    if pending:
+        # A fully-cached sweep never needs the model, so even the
+        # instrumented iteration behind build_model is skipped.
+        if model is None:
+            model = build_model(cluster, program, perturbation)
+        predicted = model.predict_many([GenBlock(k) for k in pending])
+        actual = ParallelRunner(jobs).map(
+            _emulate_task,
+            [(cluster, program, perturbation, k) for k in pending],
+        )
+        for key, a, p in zip(pending, actual, predicted):
+            pairs[key] = (a, p)
+            if cache is not None:
+                cache.store(cluster, program, GenBlock(key), a, p, perturbation)
+
+    comparisons: List[PointComparison] = []
+    for point in points:
+        a, p = pairs[point.distribution.counts]
         comparisons.append(
             PointComparison(
                 label=point.label,
                 anchor=point.anchor,
                 position=point.position,
-                actual_seconds=actual,
-                predicted_seconds=predicted,
+                actual_seconds=a,
+                predicted_seconds=p,
             )
         )
     return SpectrumRun(

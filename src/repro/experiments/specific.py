@@ -16,6 +16,7 @@ from repro.cluster.cluster import ClusterSpec
 from repro.cluster.configs import table1_configs
 from repro.apps import paper_applications
 from repro.experiments.common import SpectrumRun, run_spectrum
+from repro.parallel.runner import ParallelRunner
 from repro.sim.perturbation import PerturbationConfig
 from repro.util.tables import render_series
 
@@ -77,6 +78,17 @@ class ConfigCurves:
         return "\n\n".join(blocks)
 
 
+def _curves_task(spec) -> SpectrumRun:
+    """Process-pool task: one application's curve on one configuration."""
+    cluster, program, steps_per_leg, perturbation = spec
+    return run_spectrum(
+        cluster,
+        program,
+        steps_per_leg=steps_per_leg,
+        perturbation=perturbation,
+    )
+
+
 def config_curves(
     config_name: str,
     *,
@@ -85,42 +97,41 @@ def config_curves(
     scale: float = 1.0,
     apps: Optional[Sequence[str]] = None,
     perturbation: Optional[PerturbationConfig] = None,
+    jobs: int = 1,
 ) -> ConfigCurves:
-    """Predicted-vs-actual curves for one named configuration."""
+    """Predicted-vs-actual curves for one named configuration.
+
+    ``jobs`` fans the per-application sweeps out over a process pool;
+    results are bit-identical to the serial run.
+    """
     if cluster is None:
         cluster = table1_configs()[config_name]
     wanted = set(apps) if apps is not None else None
-    runs = []
-    for app in paper_applications(scale):
-        if wanted is not None and app.name not in wanted:
-            continue
-        runs.append(
-            run_spectrum(
-                cluster,
-                app.structure,
-                steps_per_leg=steps_per_leg,
-                perturbation=perturbation,
-            )
-        )
+    tasks = [
+        (cluster, app.structure, steps_per_leg, perturbation)
+        for app in paper_applications(scale)
+        if wanted is None or app.name in wanted
+    ]
+    runs = ParallelRunner(jobs).map(_curves_task, tasks)
     return ConfigCurves(config_name=config_name, runs=tuple(runs))
 
 
 def figure10(
-    steps_per_leg: int = 4, scale: float = 1.0
+    steps_per_leg: int = 4, scale: float = 1.0, jobs: int = 1
 ) -> Tuple[ConfigCurves, ConfigCurves]:
     """Figure 10: configurations DC (top panels) and IO (bottom panels),
     each panel pairing CG+Jacobi (left) and Lanczos+RNA (right)."""
     return (
-        config_curves("DC", steps_per_leg=steps_per_leg, scale=scale),
-        config_curves("IO", steps_per_leg=steps_per_leg, scale=scale),
+        config_curves("DC", steps_per_leg=steps_per_leg, scale=scale, jobs=jobs),
+        config_curves("IO", steps_per_leg=steps_per_leg, scale=scale, jobs=jobs),
     )
 
 
 def figure11(
-    steps_per_leg: int = 4, scale: float = 1.0
+    steps_per_leg: int = 4, scale: float = 1.0, jobs: int = 1
 ) -> Tuple[ConfigCurves, ConfigCurves]:
     """Figure 11: configurations HY1 (top) and HY2 (bottom)."""
     return (
-        config_curves("HY1", steps_per_leg=steps_per_leg, scale=scale),
-        config_curves("HY2", steps_per_leg=steps_per_leg, scale=scale),
+        config_curves("HY1", steps_per_leg=steps_per_leg, scale=scale, jobs=jobs),
+        config_curves("HY2", steps_per_leg=steps_per_leg, scale=scale, jobs=jobs),
     )

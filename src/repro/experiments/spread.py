@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.cluster.configs import table1_configs
 from repro.apps import paper_applications
 from repro.experiments.common import SpectrumRun, run_spectrum
+from repro.parallel.runner import ParallelRunner
 from repro.util.tables import render_table
 
 __all__ = ["SpreadResult", "distribution_spread"]
@@ -56,26 +57,37 @@ class SpreadResult:
         )
 
 
+def _spread_task(spec) -> SpectrumRun:
+    """Process-pool task: one (application, configuration) sweep."""
+    cluster, program, steps_per_leg = spec
+    return run_spectrum(cluster, program, steps_per_leg=steps_per_leg)
+
+
 def distribution_spread(
     configs: Optional[Sequence[str]] = None,
     steps_per_leg: int = 4,
     scale: float = 1.0,
+    jobs: int = 1,
 ) -> SpreadResult:
-    """Measure spreads over the spectrum for each app x configuration."""
+    """Measure spreads over the spectrum for each app x configuration.
+
+    ``jobs`` fans the independent (app, configuration) sweeps out over a
+    process pool; results are bit-identical to the serial run.
+    """
     table = table1_configs()
     names = list(configs) if configs is not None else list(table)
+    keys: list = []
+    tasks: list = []
+    for app in paper_applications(scale):
+        for cname in names:
+            keys.append((app.name, cname))
+            tasks.append((table[cname], app.structure, steps_per_leg))
+    runs = ParallelRunner(jobs).map(_spread_task, tasks)
     spreads: Dict[Tuple[str, str], float] = {}
     best: Dict[Tuple[str, str], str] = {}
     worst: Dict[Tuple[str, str], str] = {}
-    for app in paper_applications(scale):
-        for cname in names:
-            run: SpectrumRun = run_spectrum(
-                table[cname], app.structure, steps_per_leg=steps_per_leg
-            )
-            key = (app.name, cname)
-            spreads[key] = run.spread
-            best[key] = run.best_actual.label
-            worst[key] = max(
-                run.points, key=lambda p: p.actual_seconds
-            ).label
+    for key, run in zip(keys, runs):
+        spreads[key] = run.spread
+        best[key] = run.best_actual.label
+        worst[key] = max(run.points, key=lambda p: p.actual_seconds).label
     return SpreadResult(spreads=spreads, best_labels=best, worst_labels=worst)

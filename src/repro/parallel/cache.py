@@ -1,0 +1,153 @@
+"""Content-keyed memoisation of spectrum evaluations.
+
+Spectrum sweeps, accuracy panels and spread tables all reduce to the
+same primitive: run the emulator and the model on one ``(cluster,
+program, distribution)`` triple and keep the ``(actual, predicted)``
+pair.  Different experiments — and repeated CLI/benchmark invocations —
+revisit the same triples constantly (every leg of the spectrum shares
+its endpoints with the next), so :class:`SweepCache` memoises the pairs,
+in memory and optionally on disk.
+
+Keys are *content* hashes, not object identities or names: two
+``ClusterSpec`` objects describing the same hardware hash identically,
+and any change to a node's memory, a program's row count, or a
+perturbation flag changes the key.  Hashing uses SHA-256 over a
+canonical recursive encoding (dataclasses by field, numpy arrays by
+shape/dtype/bytes), so keys are stable across processes and sessions —
+``PYTHONHASHSEED`` never enters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["SweepCache", "content_key"]
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-encodable structure that captures content."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; float('nan') etc. included.
+        return ["f", repr(obj)]
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, obj.name]
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return [
+            "ndarray",
+            list(data.shape),
+            str(data.dtype),
+            hashlib.sha256(data.tobytes()).hexdigest(),
+        ]
+    if isinstance(obj, np.generic):
+        return _canonical(obj.item())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dc",
+            type(obj).__name__,
+            [
+                [f.name, _canonical(getattr(obj, f.name))]
+                for f in dataclasses.fields(obj)
+            ],
+        ]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [_canonical(v) for v in obj]]
+    if isinstance(obj, dict):
+        return [
+            "map",
+            sorted(
+                ([_canonical(k), _canonical(v)] for k, v in obj.items()),
+                key=json.dumps,
+            ),
+        ]
+    # Last resort: a stable repr (covers simple value objects).
+    return ["repr", type(obj).__name__, repr(obj)]
+
+
+def content_key(*objects: Any) -> str:
+    """SHA-256 hex digest of the objects' canonical content encoding."""
+    payload = json.dumps(
+        [_canonical(obj) for obj in objects],
+        separators=(",", ":"),
+        sort_keys=False,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class SweepCache:
+    """Memoised ``(cluster, program, distribution) -> (actual, predicted)``.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON file for on-disk persistence.  If it exists it is
+        loaded eagerly; :meth:`save` writes the merged contents back, so
+        repeated benchmark/CLI invocations skip redundant emulation.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._store: Dict[str, Tuple[float, float]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+            self._store = {
+                k: (float(a), float(p)) for k, (a, p) in raw.items()
+            }
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @staticmethod
+    def key(cluster, program, distribution, perturbation=None) -> str:
+        return content_key(
+            cluster, program, tuple(distribution.counts), perturbation
+        )
+
+    def lookup(
+        self, cluster, program, distribution, perturbation=None
+    ) -> Optional[Tuple[float, float]]:
+        """Return the cached ``(actual, predicted)`` pair, or ``None``."""
+        pair = self._store.get(
+            self.key(cluster, program, distribution, perturbation)
+        )
+        if pair is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return pair
+
+    def store(
+        self,
+        cluster,
+        program,
+        distribution,
+        actual: float,
+        predicted: float,
+        perturbation=None,
+    ) -> None:
+        self._store[self.key(cluster, program, distribution, perturbation)] = (
+            float(actual),
+            float(predicted),
+        )
+
+    def save(self) -> None:
+        """Persist to ``path`` (no-op for purely in-memory caches)."""
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {k: list(v) for k, v in sorted(self._store.items())}
+        self.path.write_text(
+            json.dumps(payload, indent=0, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

@@ -1,0 +1,49 @@
+"""Parallel emulator verification of search winners.
+
+A distribution search returns the candidate MHETA *predicts* is
+fastest; the honest experiment then runs the emulator on each winner to
+see what it *actually* costs (benchmarks' ``search_comparison`` table,
+the CLI's ``search --verify``).  Each verification is one independent
+emulator run, so they fan out trivially.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+from repro.distribution.genblock import GenBlock
+from repro.parallel.runner import ParallelRunner
+from repro.program.structure import ProgramStructure
+from repro.sim.perturbation import PerturbationConfig
+
+__all__ = ["verify_distributions"]
+
+
+def _verify_task(
+    spec: Tuple[ClusterSpec, ProgramStructure, Optional[PerturbationConfig], Tuple[int, ...]]
+) -> float:
+    from repro.sim.executor import ClusterEmulator
+
+    cluster, program, perturbation, counts = spec
+    emulator = ClusterEmulator(cluster, program, perturbation)
+    return emulator.run(GenBlock(counts)).total_seconds
+
+
+def verify_distributions(
+    cluster: ClusterSpec,
+    program: ProgramStructure,
+    distributions: Sequence[GenBlock],
+    jobs: int = 1,
+    perturbation: Optional[PerturbationConfig] = None,
+) -> List[float]:
+    """Actual (emulated) execution time of each distribution, in order.
+
+    Every run seeds its RNG streams from ``(cluster, program,
+    distribution, node)``, so the result is independent of ``jobs``.
+    """
+    tasks = [
+        (cluster, program, perturbation, tuple(d.counts))
+        for d in distributions
+    ]
+    return ParallelRunner(jobs).map(_verify_task, tasks)

@@ -12,7 +12,12 @@ evaluations they spent — the quantity the paper's ~5.4 ms/evaluation
 figure makes cheap.
 """
 
-from repro.search.base import EvaluationCache, SearchAlgorithm, SearchResult
+from repro.search.base import (
+    BudgetedEvaluator,
+    EvaluationCache,
+    SearchAlgorithm,
+    SearchResult,
+)
 from repro.search.gbs import GeneralizedBinarySearch
 from repro.search.genetic import GeneticSearch
 from repro.search.annealing import SimulatedAnnealingSearch
@@ -20,6 +25,7 @@ from repro.search.random_search import RandomSearch
 from repro.search.exhaustive import SpectrumSweep
 
 __all__ = [
+    "BudgetedEvaluator",
     "EvaluationCache",
     "SearchAlgorithm",
     "SearchResult",

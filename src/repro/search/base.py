@@ -9,11 +9,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.model import MhetaModel
+from repro.core.report import PredictionReport
 from repro.distribution.genblock import GenBlock, largest_remainder_round
 from repro.exceptions import SearchError
 from repro.util.rng import stream
 
-__all__ = ["EvaluationCache", "SearchResult", "SearchAlgorithm"]
+__all__ = [
+    "EvaluationCache",
+    "BudgetedEvaluator",
+    "SearchResult",
+    "SearchAlgorithm",
+]
 
 
 class EvaluationCache:
@@ -41,6 +47,31 @@ class EvaluationCache:
             self.hits += 1
         return value
 
+    def __contains__(self, key: Tuple[int, ...]) -> bool:
+        return key in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def value(self, key: Tuple[int, ...]) -> float:
+        """Cached value for ``key`` (raises ``KeyError`` if absent) —
+        a pure lookup, never an evaluation."""
+        return self._cache[key]
+
+    def put(self, key: Tuple[int, ...], value: float) -> None:
+        """Record an evaluation performed outside the cache (e.g. a full
+        prediction report whose total is the scalar value)."""
+        if key not in self._cache:
+            self._cache[key] = value
+            self.misses += 1
+
+    def best(self) -> Optional[Tuple[Tuple[int, ...], float]]:
+        """The best ``(counts, value)`` pair seen, or ``None``."""
+        if not self._cache:
+            return None
+        key = min(self._cache, key=self._cache.get)
+        return key, self._cache[key]
+
     @property
     def evaluations(self) -> int:
         """Distinct model evaluations performed."""
@@ -56,12 +87,69 @@ class SearchResult:
     evaluations: int  #: distinct MHETA evaluations spent
     trajectory: Tuple[float, ...] = field(default_factory=tuple)
     algorithm: str = ""
+    cache_hits: int = 0  #: evaluations avoided by the cache
 
     def __str__(self) -> str:
         return (
             f"{self.algorithm}: {self.predicted_seconds:.3f}s predicted with "
             f"{list(self.best.counts)} after {self.evaluations} evaluations"
         )
+
+
+class BudgetedEvaluator:
+    """The callable handed to :meth:`SearchAlgorithm._run`.
+
+    Wraps the shared :class:`EvaluationCache` with a hard budget: any
+    attempt to evaluate a *new* distribution past the budget raises
+    :class:`_BudgetExhausted`, so no algorithm can spend evaluation
+    ``budget + 1``.  Beyond the scalar call it exposes :meth:`report`,
+    the budgeted path for full prediction reports (per-node breakdowns
+    for bottleneck inspection) — report misses on unseen distributions
+    are counted and capped exactly like scalar evaluations.
+    """
+
+    def __init__(
+        self,
+        model: MhetaModel,
+        cache: EvaluationCache,
+        budget: int,
+        trajectory: List[float],
+    ) -> None:
+        self._model = model
+        self._cache = cache
+        self._budget = budget
+        self._trajectory = trajectory
+        self._reports: Dict[Tuple[int, ...], PredictionReport] = {}
+
+    def _guard(self, key: Tuple[int, ...]) -> None:
+        if key not in self._cache and self._cache.evaluations >= self._budget:
+            raise _BudgetExhausted()
+
+    def __call__(self, distribution: GenBlock) -> float:
+        self._guard(distribution.counts)
+        value = self._cache(distribution)
+        if not self._trajectory or value < self._trajectory[-1]:
+            self._trajectory.append(value)
+        else:
+            self._trajectory.append(self._trajectory[-1])
+        return value
+
+    def report(self, distribution: GenBlock) -> PredictionReport:
+        """Full prediction report, cached and budget-accounted.
+
+        A report for a distribution never seen before counts as one
+        evaluation (it *is* one model run) and respects the budget; a
+        report for an already-evaluated distribution is free budget-wise
+        — the candidate was already paid for.
+        """
+        key = distribution.counts
+        rep = self._reports.get(key)
+        if rep is None:
+            self._guard(key)
+            rep = self._model.predict(distribution)
+            self._reports[key] = rep
+            self._cache.put(key, rep.total_seconds)
+        return rep
 
 
 class SearchAlgorithm(abc.ABC):
@@ -114,41 +202,47 @@ class SearchAlgorithm(abc.ABC):
     def search(
         self, budget: int = 200, start: Optional[GenBlock] = None
     ) -> SearchResult:
-        """Run the search with at most ``budget`` distinct evaluations."""
+        """Run the search with at most ``budget`` distinct evaluations.
+
+        The budget is a hard cap: every path that could evaluate a new
+        distribution — including scoring the algorithm's final answer —
+        goes through the budgeted evaluator, so ``result.evaluations <=
+        budget`` always holds.
+        """
         if budget < 1:
             raise SearchError("budget must be >= 1")
         cache = EvaluationCache(self.model.predict_seconds)
         trajectory: List[float] = []
-
-        def evaluate(dist: GenBlock) -> float:
-            if cache.evaluations >= budget and dist.counts not in cache._cache:
-                raise _BudgetExhausted()
-            value = cache(dist)
-            if not trajectory or value < trajectory[-1]:
-                trajectory.append(value)
-            else:
-                trajectory.append(trajectory[-1])
-            return value
+        evaluate = BudgetedEvaluator(self.model, cache, budget, trajectory)
 
         best: Optional[GenBlock] = None
         try:
             best = self._run(evaluate, start)
         except _BudgetExhausted:
             pass
+        if best is not None and best.counts not in cache:
+            # The algorithm answered with a distribution it never scored;
+            # score it within the remaining budget or fall back to the
+            # best cached candidate.  Never evaluation #budget+1.
+            try:
+                evaluate(best)
+            except _BudgetExhausted:
+                best = None
         # The best seen so far, even if the algorithm was cut short.
-        if cache._cache:
-            key = min(cache._cache, key=cache._cache.get)
-            candidate = GenBlock(key)
-            if best is None or cache._cache[key] <= cache(best):
-                best = candidate
+        cached_best = cache.best()
+        if cached_best is not None:
+            key, value = cached_best
+            if best is None or value <= cache.value(best.counts):
+                best = GenBlock(key)
         if best is None:
             raise SearchError("search performed no evaluations")
         return SearchResult(
             best=best,
-            predicted_seconds=cache(best),
+            predicted_seconds=cache.value(best.counts),
             evaluations=cache.evaluations,
             trajectory=tuple(trajectory),
             algorithm=self.name,
+            cache_hits=cache.hits,
         )
 
     @abc.abstractmethod
@@ -158,7 +252,8 @@ class SearchAlgorithm(abc.ABC):
         start: Optional[GenBlock],
     ) -> GenBlock:
         """Run the strategy; return its final answer.  ``evaluate``
-        raises once the budget is exhausted."""
+        raises once the budget is exhausted; it also offers
+        ``evaluate.report(dist)`` for budgeted per-node breakdowns."""
 
 
 class _BudgetExhausted(Exception):

@@ -100,11 +100,15 @@ class GeneralizedBinarySearch(SearchAlgorithm):
     ) -> GenBlock:
         """Move rows from the predicted bottleneck node to the node whose
         predicted time is lowest, shrinking the step on failure."""
+        # Bottleneck inspection goes through the evaluator's budgeted
+        # report path so the per-node breakdowns are cached and counted
+        # (a bare callable, e.g. in unit tests, falls back to the model).
+        reporter = getattr(evaluate, "report", self.model.predict)
         current = start
         value = evaluate(current)
         step = max(self.n_rows // 64, 1)
         for _ in range(self.hill_climb_steps):
-            report = self.model.predict(current)
+            report = reporter(current)
             totals = [n.total_seconds for n in report.nodes]
             src = int(np.argmax(totals))
             dst = int(np.argmin(totals))

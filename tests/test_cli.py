@@ -71,6 +71,33 @@ class TestCommands:
         )
         assert "improvement" in out
 
+    def test_search_all_with_verify(self, capsys):
+        out = run_cli(
+            capsys,
+            "search", "jacobi", "--config", "DC",
+            "--algorithm", "all", "--budget", "20", "--verify",
+            "--jobs", "2", *SCALE,
+        )
+        for algorithm in ("gbs", "genetic", "annealing", "random"):
+            assert f"{algorithm}: emulator verifies" in out
+
+    def test_sweep_jobs_and_cache_match_serial(self, capsys, tmp_path):
+        serial = run_cli(capsys, "sweep", "jacobi", "--config", "DC", *SCALE)
+        cache = tmp_path / "sweeps.json"
+        fanned = run_cli(
+            capsys,
+            "sweep", "jacobi", "--config", "DC",
+            "--jobs", "2", "--cache", str(cache), *SCALE,
+        )
+        assert fanned == serial
+        assert cache.exists()
+        warm = run_cli(
+            capsys,
+            "sweep", "jacobi", "--config", "DC",
+            "--cache", str(cache), *SCALE,
+        )
+        assert warm == serial
+
     def test_adaptive(self, capsys):
         out = run_cli(capsys, "adaptive", "jacobi", "--config", "DC", *SCALE)
         assert "speedup" in out

@@ -28,8 +28,17 @@ class TestPercentDifference:
         # |a-p| / min(a,p): the paper's definition.
         assert percent_difference(50.0, 100.0) == pytest.approx(100.0)
 
-    def test_zero_denominator_safe(self):
-        assert percent_difference(0.0, 0.0) == 0.0
+    def test_degenerate_times_raise(self):
+        # A non-positive time is degenerate data, not a perfect
+        # prediction; it must not be silently reported as 0% error.
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            percent_difference(0.0, 0.0)
+        with pytest.raises(ExperimentError):
+            percent_difference(0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            percent_difference(1.0, -2.0)
 
 
 class TestRunSpectrum:

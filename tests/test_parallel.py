@@ -1,0 +1,181 @@
+"""Tests for the fan-out execution layer (repro.parallel)."""
+
+import pytest
+
+from repro.cluster import config_dc, config_io
+from repro.distribution import balanced, block
+from repro.experiments import build_model, fig9_accuracy, run_spectrum
+from repro.parallel import (
+    ParallelRunner,
+    SweepCache,
+    content_key,
+    resolve_jobs,
+    verify_distributions,
+)
+from repro.apps import JacobiApp
+
+SCALE = 0.02  # tiny problems: full protocol, milliseconds of wall time
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelRunner:
+    def test_serial_fallback_is_plain_map(self):
+        assert ParallelRunner(1).map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(20))
+        assert ParallelRunner(4).map(_square, items) == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = [5, 2, 9, 4]
+        assert ParallelRunner(3).map(_square, items) == ParallelRunner(1).map(
+            _square, items
+        )
+
+    def test_empty_and_singleton(self):
+        assert ParallelRunner(4).map(_square, []) == []
+        assert ParallelRunner(4).map(_square, [7]) == [49]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1  # one worker per CPU
+
+
+class TestContentKey:
+    def test_equal_content_equal_key(self):
+        a = config_dc()
+        b = config_dc()
+        assert a is not b
+        assert content_key(a) == content_key(b)
+
+    def test_different_content_different_key(self):
+        assert content_key(config_dc()) != content_key(config_io())
+
+    def test_distribution_changes_key(self):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d1 = block(cluster, program.n_rows)
+        d2 = balanced(cluster, program.n_rows)
+        k1 = SweepCache.key(cluster, program, d1)
+        k2 = SweepCache.key(cluster, program, d2)
+        assert (k1 == k2) == (d1.counts == d2.counts)
+
+    def test_program_scale_changes_key(self):
+        cluster = config_dc()
+        small = JacobiApp.paper(scale=SCALE).structure
+        big = JacobiApp.paper(scale=2 * SCALE).structure
+        assert content_key(cluster, small) != content_key(cluster, big)
+
+
+class TestSweepCache:
+    def test_hit_and_miss_counters(self):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d = block(cluster, program.n_rows)
+        cache = SweepCache()
+        assert cache.lookup(cluster, program, d) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.store(cluster, program, d, 1.5, 1.4)
+        assert cache.lookup(cluster, program, d) == (1.5, 1.4)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_disk_round_trip(self, tmp_path):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d = block(cluster, program.n_rows)
+        path = tmp_path / "sweep-cache.json"
+        cache = SweepCache(path)
+        cache.store(cluster, program, d, 2.0, 2.1)
+        cache.save()
+        reloaded = SweepCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.lookup(cluster, program, d) == (2.0, 2.1)
+
+    def test_perturbation_part_of_key(self):
+        from repro.sim import PerturbationConfig
+
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d = block(cluster, program.n_rows)
+        cache = SweepCache()
+        cache.store(cluster, program, d, 1.0, 1.0)
+        assert (
+            cache.lookup(cluster, program, d, PerturbationConfig.none())
+            is None
+        )
+
+
+class TestPredictMany:
+    def test_bit_identical_to_predict_seconds(self):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure.with_iterations(3)
+        model = build_model(cluster, program)
+        candidates = [
+            block(cluster, program.n_rows),
+            balanced(cluster, program.n_rows),
+            block(cluster, program.n_rows),  # shared row counts hit the memo
+        ]
+        batched = model.predict_many(candidates)
+        assert batched == [model.predict_seconds(d) for d in candidates]
+
+
+def _points(run):
+    return [(p.label, p.actual_seconds, p.predicted_seconds) for p in run.points]
+
+
+class TestSpectrumEquivalence:
+    def test_run_spectrum_jobs_bit_identical(self):
+        cluster = config_io()
+        program = JacobiApp.paper(scale=SCALE).structure.with_iterations(3)
+        serial = run_spectrum(cluster, program, steps_per_leg=2, jobs=1)
+        fanned = run_spectrum(cluster, program, steps_per_leg=2, jobs=4)
+        assert _points(serial) == _points(fanned)
+
+    def test_run_spectrum_cache_bit_identical(self):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure.with_iterations(3)
+        cache = SweepCache()
+        cold = run_spectrum(cluster, program, steps_per_leg=2, cache=cache)
+        stored = len(cache)
+        warm = run_spectrum(cluster, program, steps_per_leg=2, cache=cache)
+        assert _points(cold) == _points(warm)
+        assert stored > 0
+        assert len(cache) == stored  # nothing re-emulated
+        assert cache.hits >= stored
+
+    def test_fig9_jobs_bit_identical(self):
+        kwargs = dict(
+            panel="all",
+            architectures=[config_dc(), config_io()],
+            scale=SCALE,
+            steps_per_leg=1,
+        )
+        serial = fig9_accuracy(jobs=1, **kwargs)
+        fanned = fig9_accuracy(jobs=4, **kwargs)
+        assert serial.labels == fanned.labels
+        assert serial.minimum == fanned.minimum
+        assert serial.average == fanned.average
+        assert serial.maximum == fanned.maximum
+        for a, b in zip(serial.runs, fanned.runs):
+            assert _points(a) == _points(b)
+
+
+class TestVerifyDistributions:
+    def test_matches_direct_emulation(self):
+        from repro.sim import ClusterEmulator
+
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure.with_iterations(3)
+        dists = [
+            block(cluster, program.n_rows),
+            balanced(cluster, program.n_rows),
+        ]
+        emulator = ClusterEmulator(cluster, program)
+        direct = [emulator.run(d).total_seconds for d in dists]
+        assert verify_distributions(cluster, program, dists, jobs=1) == direct
+        assert verify_distributions(cluster, program, dists, jobs=2) == direct

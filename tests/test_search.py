@@ -8,10 +8,12 @@ from repro.exceptions import SearchError
 from repro.instrument import collect_inputs
 from repro.instrument.collect import MeasurementConfig
 from repro.search import (
+    BudgetedEvaluator,
     EvaluationCache,
     GeneralizedBinarySearch,
     GeneticSearch,
     RandomSearch,
+    SearchAlgorithm,
     SimulatedAnnealingSearch,
     SpectrumSweep,
 )
@@ -123,6 +125,108 @@ class TestGbsQuality:
             balanced(cluster, program.n_rows)
         )
         assert result.predicted_seconds <= bal_time * 1.02
+
+
+class TestBudgetHardCap:
+    """The budget is a hard cap: no path — including scoring the
+    algorithm's final answer — may perform evaluation #budget+1."""
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    @pytest.mark.parametrize("budget", [1, 3, 10])
+    def test_tight_budgets_never_exceeded(self, name, budget, search_setup):
+        cluster, program, model = search_setup
+        result = make_search(name, model, cluster).search(budget=budget)
+        assert result.evaluations <= budget
+
+    def test_unevaluated_answer_does_not_cost_extra(self, search_setup):
+        """Regression: an algorithm returning a distribution it never
+        scored used to trigger evaluation #budget+1 in ``search()``."""
+        cluster, program, model = search_setup
+
+        class SneakySearch(SearchAlgorithm):
+            name = "sneaky"
+
+            def _run(self, evaluate, start):
+                evaluate(block(cluster, program.n_rows))
+                # Final answer was never passed through ``evaluate``.
+                return balanced(cluster, program.n_rows)
+
+        result = SneakySearch(model).search(budget=1)
+        assert result.evaluations <= 1
+        # The unscored answer was discarded for the best *cached* one.
+        assert result.best == block(cluster, program.n_rows)
+
+    def test_unevaluated_answer_scored_within_budget(self, search_setup):
+        cluster, program, model = search_setup
+
+        class LazySearch(SearchAlgorithm):
+            name = "lazy"
+
+            def _run(self, evaluate, start):
+                return balanced(cluster, program.n_rows)
+
+        result = LazySearch(model).search(budget=5)
+        assert result.evaluations == 1
+        assert result.best == balanced(cluster, program.n_rows)
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_cache_counters_reported(self, name, search_setup):
+        cluster, program, model = search_setup
+        result = make_search(name, model, cluster).search(budget=60)
+        assert result.cache_hits >= 0
+        assert result.evaluations >= 1
+
+
+class _CountingModel:
+    """Wrap a model, counting invocations per distribution."""
+
+    def __init__(self, model):
+        self._model = model
+        self.scalar_calls = {}
+        self.report_calls = {}
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    def predict_seconds(self, distribution, iterations=None):
+        key = distribution.counts
+        self.scalar_calls[key] = self.scalar_calls.get(key, 0) + 1
+        return self._model.predict_seconds(distribution, iterations)
+
+    def predict(self, distribution, iterations=None):
+        key = distribution.counts
+        self.report_calls[key] = self.report_calls.get(key, 0) + 1
+        return self._model.predict(distribution, iterations)
+
+
+class TestGbsEvaluationAccounting:
+    def test_bottleneck_reports_cached_and_counted(self, search_setup):
+        """Regression: GBS's hill climb called ``model.predict``
+        directly, bypassing the cache — uncounted model evaluations."""
+        cluster, program, model = search_setup
+        counting = _CountingModel(model)
+        result = GeneralizedBinarySearch(counting, cluster).search(budget=120)
+        # Every scalar invocation is a counted (distinct) evaluation.
+        assert sum(counting.scalar_calls.values()) == result.evaluations
+        # Full reports are cached: at most one model run per distribution.
+        assert counting.report_calls
+        assert max(counting.report_calls.values()) == 1
+        # GBS only inspects candidates it already paid for.
+        assert set(counting.report_calls) <= set(counting.scalar_calls)
+
+    def test_report_on_new_distribution_is_budgeted(self, search_setup):
+        from repro.search.base import _BudgetExhausted
+
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        evaluator = BudgetedEvaluator(model, cache, budget=1, trajectory=[])
+        report = evaluator.report(block(cluster, program.n_rows))
+        assert report.total_seconds > 0
+        assert cache.evaluations == 1  # the report counted as an evaluation
+        with pytest.raises(_BudgetExhausted):
+            evaluator.report(balanced(cluster, program.n_rows))
+        # A repeated report is served from the cache, not the budget.
+        assert evaluator.report(block(cluster, program.n_rows)) is report
 
 
 class TestSearchValidation:
