@@ -93,6 +93,14 @@ def _add_common(parser: argparse.ArgumentParser, config: bool = True) -> None:
         )
 
 
+def _add_kernel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel", choices=("numpy", "scalar"), default="numpy",
+        help="MHETA evaluation kernel: vectorised (numpy, default) or "
+        "the scalar reference; predictions agree to <= 1e-12 relative",
+    )
+
+
 def _add_jobs(parser: argparse.ArgumentParser, cache: bool = False) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -144,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
         "re-running the instrumented iteration",
     )
     _add_common(p)
+    _add_kernel(p)
 
     p = sub.add_parser(
         "instrument",
@@ -173,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     _add_jobs(p)
+    _add_kernel(p)
 
     p = sub.add_parser("adaptive", help="the Section-6 adaptive runtime")
     p.add_argument("app", choices=APPS)
@@ -189,7 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p, config=False)
     _add_jobs(p, cache=True)
 
-    sub.add_parser("timing", help="model evaluation cost (paper: ~5.4 ms)")
+    p = sub.add_parser("timing", help="model evaluation cost (paper: ~5.4 ms)")
+    _add_kernel(p)
 
     p = sub.add_parser("spreads", help="best-vs-worst distribution spreads")
     p.add_argument("--steps", type=int, default=2)
@@ -276,9 +287,12 @@ def _cmd_predict(args) -> str:
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
     if args.inputs:
-        model = MhetaModel(program, cluster, MhetaInputs.load(args.inputs))
+        model = MhetaModel(
+            program, cluster, MhetaInputs.load(args.inputs),
+            kernel=args.kernel,
+        )
     else:
-        model = build_model(cluster, program)
+        model = build_model(cluster, program, kernel=args.kernel)
     distribution = _anchor(args.dist, cluster, program)
     report = model.predict(distribution)
     out = [report.describe()]
@@ -300,7 +314,7 @@ def _cmd_search(args) -> str:
 
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
-    model = build_model(cluster, program)
+    model = build_model(cluster, program, kernel=args.kernel)
     factories = {
         "gbs": lambda: GeneralizedBinarySearch(model, cluster),
         "genetic": lambda: GeneticSearch(model),
@@ -368,7 +382,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             print(bands.chart())
     elif args.command == "timing":
-        print(model_evaluation_timing().describe())
+        print(model_evaluation_timing(kernel=args.kernel).describe())
     elif args.command == "spreads":
         print(
             distribution_spread(

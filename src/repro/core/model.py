@@ -8,6 +8,26 @@ communication comes from :class:`~repro.core.comm.SectionTimeline`
 (Equation 3/4 waits, reduction, allgather).  The predicted application
 time is the slowest node's clock after the final iteration.
 
+Two evaluation kernels produce those clocks:
+
+* ``kernel="scalar"`` — the reference implementation: per-tile,
+  per-stage, per-block Python loops, kept exactly as originally
+  written so the fast path always has a bit-stable baseline to be
+  checked against.
+* ``kernel="numpy"`` (default) — the vectorised kernel: each node's
+  tiles x stages become closed-form array expressions
+  (:meth:`StageTimeModel.section_tile_times`) and the communication
+  timeline advances ``np.ndarray`` clocks
+  (:meth:`SectionTimeline.advance_arrays`).  It agrees with the scalar
+  reference to rounding (<= 1e-12 relative, pinned by the golden
+  equivalence suite in ``tests/test_kernel_equivalence.py``).
+
+The per-node stage tables depend only on ``(node, rows)`` — not on what
+the *other* nodes were assigned — so a bounded LRU inside the model
+reuses them across *every* prediction: a hill-climb move changes two
+nodes' row counts, so P-2 nodes hit the cache even through
+single-candidate :meth:`predict_seconds` calls.
+
 The model deliberately knows nothing about relative CPU powers, disk
 bandwidths, page caches, or per-row work variation: everything
 hardware- or application-specific enters through the measured
@@ -18,10 +38,13 @@ needs them (Section 4.2.1).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.cluster.cluster import ClusterSpec
-from repro.core.comm import SectionTimeline
+from repro.core.comm import SectionTimeline, maxplus_compose
 from repro.core.io_model import StageTimeModel
 from repro.core.oracle import OutOfCoreOracle
 from repro.core.report import (
@@ -34,8 +57,18 @@ from repro.exceptions import ModelError
 from repro.instrument.inputs import MhetaInputs
 from repro.program.sections import CommPattern, ParallelSection
 from repro.program.structure import ProgramStructure
+from repro.util.lru import LRUCache
 
-__all__ = ["MhetaModel"]
+__all__ = ["MhetaModel", "KERNELS", "DEFAULT_TABLE_CACHE_ENTRIES"]
+
+#: Selectable evaluation kernels.
+KERNELS = ("numpy", "scalar")
+
+#: Default bound of the per-``(node, rows)`` table cache.  Generous for
+#: any search (a 200-evaluation sweep over 8 nodes touches at most 1600
+#: distinct keys) while keeping long unattended sweeps at a fixed memory
+#: ceiling.
+DEFAULT_TABLE_CACHE_ENTRIES = 4096
 
 
 def _tile_rows(rows: int, tiles: int, tile: int) -> int:
@@ -44,14 +77,57 @@ def _tile_rows(rows: int, tiles: int, tile: int) -> int:
     return hi - lo
 
 
+@dataclass(frozen=True)
+class _SectionTables:
+    """Precomputed per-section evaluation tables for one distribution.
+
+    ``tile_totals``/``tile_compute`` are per-node, per-tile stage-time
+    tables: nested lists for the scalar kernel, ``(P, tiles)`` float64
+    arrays for the numpy kernel (with ``tile_sums`` the per-node section
+    totals, precomputed so steady-state walks skip the reduction).
+    For the numpy kernel, exactly one of ``matrix``/``advance`` is set:
+    ``matrix`` is the section's max-plus matrix
+    (:meth:`SectionTimeline.compile_matrix`), which the steady-state
+    walk composes with its neighbours into one per-iteration matrix;
+    ``advance`` is the compiled replay closure for sections with no
+    clock-independent matrix (pipelines).
+    """
+
+    section: ParallelSection
+    tile_totals: Sequence
+    tile_compute: Sequence
+    source_read: Sequence
+    tile_sums: Optional[np.ndarray] = None
+    matrix: Optional[np.ndarray] = None
+    advance: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+
 class MhetaModel:
-    """Predict execution times for candidate distributions."""
+    """Predict execution times for candidate distributions.
+
+    Parameters
+    ----------
+    program, memories, inputs:
+        As in the paper: the application structure, the per-node memory
+        capacities (or the cluster they come from), and the measured
+        internal MHETA file.
+    kernel:
+        ``"numpy"`` (vectorised, default) or ``"scalar"`` (the reference
+        implementation).
+    table_cache:
+        Bound of the persistent ``(node, rows) -> tables`` LRU shared by
+        every prediction this model makes.  ``0`` disables cross-call
+        reuse (each :meth:`predict_many` batch still shares a transient
+        bounded memo).
+    """
 
     def __init__(
         self,
         program: ProgramStructure,
         memories: Union[ClusterSpec, Sequence[int]],
         inputs: MhetaInputs,
+        kernel: str = "numpy",
+        table_cache: int = DEFAULT_TABLE_CACHE_ENTRIES,
     ) -> None:
         if isinstance(memories, ClusterSpec):
             memory_list = [n.memory_bytes for n in memories.nodes]
@@ -67,15 +143,41 @@ class MhetaModel:
                 f"inputs were collected for {inputs.program_name!r}, "
                 f"not {program.name!r}"
             )
+        if kernel not in KERNELS:
+            raise ModelError(
+                f"unknown kernel {kernel!r}; choose from {KERNELS}"
+            )
+        if table_cache < 0:
+            raise ModelError("table_cache must be >= 0")
         self.program = program
         self.inputs = inputs
+        self.kernel = kernel
         self.oracle = OutOfCoreOracle(program, memory_list)
         self.stage_model = StageTimeModel(program, inputs)
         self.timeline = SectionTimeline(inputs.micro, len(memory_list))
+        self._tables_cache: Optional[LRUCache] = (
+            LRUCache(table_cache) if table_cache > 0 else None
+        )
+        # Tile-axis layout of the flattened per-node tables the numpy
+        # kernel caches: section ``si`` owns columns
+        # ``offsets[si]:offsets[si + 1]``.
+        tiles = [s.tiles for s in program.sections]
+        self._tile_offsets = [0]
+        for t in tiles:
+            self._tile_offsets.append(self._tile_offsets[-1] + t)
+        self._total_tiles = self._tile_offsets[-1]
 
     @property
     def n_nodes(self) -> int:
         return self.oracle.n_nodes
+
+    @property
+    def table_cache_stats(self) -> dict:
+        """Hit/miss/eviction counters of the persistent table cache."""
+        if self._tables_cache is None:
+            return {"size": 0, "maxsize": 0, "hits": 0, "misses": 0,
+                    "evictions": 0}
+        return self._tables_cache.stats
 
     # -- prediction -------------------------------------------------------------
 
@@ -103,25 +205,47 @@ class MhetaModel:
     ) -> List[float]:
         """Batched :meth:`predict_seconds` over candidate distributions.
 
-        The per-node stage tables depend only on ``(node, rows)`` — not
-        on what the *other* nodes were assigned — so candidates sharing
-        row counts on a node (spectrum points share their leg
-        endpoints, search populations converge) share the table
-        construction.  Results are bit-identical to calling
-        :meth:`predict_seconds` per candidate: the memo only reuses
-        values the serial path would recompute identically.
+        Candidates sharing row counts on a node (spectrum points share
+        their leg endpoints, search populations converge) share the
+        table construction through the model's bounded LRU.  Results
+        are bit-identical to calling :meth:`predict_seconds` per
+        candidate: the cache only reuses values the serial path would
+        recompute identically.  When the persistent cache is disabled
+        (``table_cache=0``) the batch still shares a transient bounded
+        memo, so long sweeps cannot grow memory without limit.
         """
-        memo: dict = {}
+        transient = (
+            LRUCache(DEFAULT_TABLE_CACHE_ENTRIES)
+            if self._tables_cache is None
+            else None
+        )
         return [
-            self._predict(d, iterations, want_report=False, node_memo=memo)
+            self._predict(
+                d, iterations, want_report=False, table_cache=transient
+            )
             for d in distributions
         ]
 
-    # -- implementation -------------------------------------------------------------
+    # -- table construction -----------------------------------------------------
+
+    def _source_read(self, n: int, section: ParallelSection, plan) -> float:
+        """Disk read charged for materialising one outgoing message."""
+        src = section.comm.source_variable
+        if (
+            src is not None
+            and section.comm.pattern is CommPattern.NEAREST_NEIGHBOR
+        ):
+            placement = plan.placements.get(src)
+            if placement is not None and not placement.in_core:
+                return self.stage_model.read_block_seconds(
+                    n, src, section.comm.message_bytes
+                )
+        return 0.0
 
     def _node_tables(self, n: int, rows: int, plan):
         """Per section, for one node: tile stage-times (total and
-        compute-only) plus the message source-read cost."""
+        compute-only) plus the message source-read cost — scalar
+        reference path."""
         out = []
         for section in self.program.sections:
             totals: List[float] = []
@@ -138,68 +262,151 @@ class MhetaModel:
                     t_sum += st.total
                 totals.append(t_sum)
                 computes.append(c_sum)
-            read = 0.0
-            src = section.comm.source_variable
-            if (
-                src is not None
-                and section.comm.pattern is CommPattern.NEAREST_NEIGHBOR
-            ):
-                placement = plan.placements.get(src)
-                if placement is not None and not placement.in_core:
-                    read = self.stage_model.read_block_seconds(
-                        n, src, section.comm.message_bytes
-                    )
-            out.append((totals, computes, read))
+            out.append((totals, computes, self._source_read(n, section, plan)))
         return out
 
-    def _section_tables(
-        self, distribution: GenBlock, node_memo: Optional[dict] = None
-    ) -> List[Tuple[ParallelSection, List[List[float]], List[List[float]], List[float]]]:
-        """Precompute, per section: tile stage-times (split by compute and
-        I/O) and per-node message source-read costs.  These are the same
-        for every iteration, so the iteration loop only replays the
-        communication timeline.  ``node_memo`` (used by
-        :meth:`predict_many`) caches the per-``(node, rows)`` work across
-        candidate distributions."""
-        P = self.n_nodes
-        plans = self.oracle.plans(distribution)
-        per_node = []
-        for n in range(P):
-            rows = distribution[n]
-            if node_memo is None:
-                per_node.append(self._node_tables(n, rows, plans[n]))
-            else:
-                key = (n, rows)
-                entry = node_memo.get(key)
-                if entry is None:
-                    entry = self._node_tables(n, rows, plans[n])
-                    node_memo[key] = entry
-                per_node.append(entry)
-        tables = []
-        for si, section in enumerate(self.program.sections):
-            tile_totals = [per_node[n][si][0] for n in range(P)]
-            tile_compute = [per_node[n][si][1] for n in range(P)]
-            source_read = [per_node[n][si][2] for n in range(P)]
-            tables.append((section, tile_totals, tile_compute, source_read))
-        return tables
+    def _node_tables_numpy(self, n: int, rows: int, plan):
+        """Vectorised counterpart of :meth:`_node_tables`: one array
+        kernel call per section instead of tiles x stages Python loops.
+        Sections are packed along one flat tile axis (layout in
+        ``self._tile_offsets``) so assembling a distribution's ``(P,
+        tiles)`` tables costs one row copy per node.
 
-    def _predict(
+        Single-tile sections go through the scalar per-stage
+        accumulation: the closed-form array kernel only amortises its
+        call overhead across many tiles, and the scalar path is exact
+        against the reference by construction.
+        """
+        totals = np.empty(self._total_tiles)
+        computes = np.empty(self._total_tiles)
+        source_read = np.empty(len(self.program.sections))
+        for si, section in enumerate(self.program.sections):
+            lo, hi = self._tile_offsets[si], self._tile_offsets[si + 1]
+            if section.tiles == 1:
+                c_sum = 0.0
+                t_sum = 0.0
+                for stage in section.stages:
+                    st = self.stage_model.tile_stage_times(
+                        n, rows, section, stage, rows, plan
+                    )
+                    c_sum += st.compute_seconds
+                    t_sum += st.total
+                totals[lo] = t_sum
+                computes[lo] = c_sum
+            else:
+                t, c = self.stage_model.section_tile_times(
+                    n, rows, section, plan
+                )
+                totals[lo:hi] = t
+                computes[lo:hi] = c
+            source_read[si] = self._source_read(n, section, plan)
+        # Cached entries are shared across predictions; freeze them.
+        totals.setflags(write=False)
+        computes.setflags(write=False)
+        source_read.setflags(write=False)
+        return (totals, computes, source_read)
+
+    def _section_tables(
         self,
         distribution: GenBlock,
-        iterations: Optional[int],
-        want_report: bool,
-        node_memo: Optional[dict] = None,
-    ):
-        if distribution.n_nodes != self.n_nodes:
-            raise ModelError("distribution does not match the model's nodes")
-        if distribution.n_rows != self.program.n_rows:
-            raise ModelError("distribution does not cover the program's rows")
-        n_iter = (
-            iterations if iterations is not None else self.program.iterations
-        )
+        table_cache: Optional[LRUCache] = None,
+    ) -> List[_SectionTables]:
+        """Precompute, per section: tile stage-times (split by compute
+        and I/O) and per-node message source-read costs.  These are the
+        same for every iteration, so the iteration loop only replays the
+        communication timeline.  Per-``(node, rows)`` work is memoised
+        in the model's bounded LRU (or the explicit ``table_cache``
+        override), shared across every prediction."""
         P = self.n_nodes
-        tables = self._section_tables(distribution, node_memo)
+        cache = table_cache if table_cache is not None else self._tables_cache
+        build = (
+            self._node_tables_numpy
+            if self.kernel == "numpy"
+            else self._node_tables
+        )
+        counts = distribution.counts
+        per_node = []
+        for n in range(P):
+            rows = counts[n]
+            if cache is None:
+                per_node.append(build(n, rows, self.oracle.plan(n, rows)))
+            else:
+                key = (n, rows)
+                entry = cache.get(key)
+                if entry is None:
+                    entry = build(n, rows, self.oracle.plan(n, rows))
+                    cache.put(key, entry)
+                per_node.append(entry)
+        tables = []
+        if self.kernel == "numpy":
+            # One row copy per node into the flat (P, total_tiles)
+            # tables, then per-section column views — no re-stacking.
+            all_totals = np.empty((P, self._total_tiles))
+            all_compute = np.empty((P, self._total_tiles))
+            all_source = np.empty((P, len(self.program.sections)))
+            for n in range(P):
+                entry = per_node[n]
+                all_totals[n] = entry[0]
+                all_compute[n] = entry[1]
+                all_source[n] = entry[2]
+            for si, section in enumerate(self.program.sections):
+                lo, hi = self._tile_offsets[si], self._tile_offsets[si + 1]
+                tile_totals = all_totals[:, lo:hi]
+                tile_compute = all_compute[:, lo:hi]
+                source_read = all_source[:, si]
+                tile_sums = (
+                    tile_totals[:, 0]
+                    if hi - lo == 1
+                    else tile_totals.sum(axis=1)
+                )
+                matrix = self.timeline.compile_matrix(
+                    section.comm.pattern,
+                    tile_totals,
+                    section.comm.message_bytes,
+                    source_read,
+                    tile_sums,
+                )
+                advance = (
+                    None
+                    if matrix is not None
+                    else self.timeline.compile_advance(
+                        section.comm.pattern,
+                        tile_totals,
+                        section.comm.message_bytes,
+                        source_read,
+                        tile_sums,
+                    )
+                )
+                tables.append(
+                    _SectionTables(
+                        section=section,
+                        tile_totals=tile_totals,
+                        tile_compute=tile_compute,
+                        source_read=source_read,
+                        tile_sums=tile_sums,
+                        matrix=matrix,
+                        advance=advance,
+                    )
+                )
+            return tables
+        for si, section in enumerate(self.program.sections):
+            tables.append(
+                _SectionTables(
+                    section=section,
+                    tile_totals=[per_node[n][si][0] for n in range(P)],
+                    tile_compute=[per_node[n][si][1] for n in range(P)],
+                    source_read=[per_node[n][si][2] for n in range(P)],
+                )
+            )
+        return tables
 
+    # -- iteration walks --------------------------------------------------------
+
+    def _walk_scalar(
+        self, tables: List[_SectionTables], n_iter: int
+    ) -> Tuple[List[float], List[float]]:
+        """Reference per-node clock walk (plain Python lists)."""
+        P = self.n_nodes
         clocks = [0.0] * P
         iter_ends: List[List[float]] = []
         profile = self.program.iteration_profile
@@ -213,13 +420,13 @@ class MhetaModel:
             prev_steady = None
             simulate = 0
             while simulate < n_iter:
-                for section, tile_totals, _, source_read in tables:
+                for t in tables:
                     clocks = self.timeline.advance(
-                        section.comm.pattern,
+                        t.section.comm.pattern,
                         clocks,
-                        tile_totals,
-                        section.comm.message_bytes,
-                        source_read,
+                        t.tile_totals,
+                        t.section.comm.message_bytes,
+                        t.source_read,
                     )
                 iter_ends.append(list(clocks))
                 simulate += 1
@@ -244,57 +451,286 @@ class MhetaModel:
                     iter_ends[-1][n] + steady[n] * (n_iter - simulate)
                     for n in range(P)
                 ]
-        else:
-            # Non-uniform iterations (paper Section 3.1's deferred case):
-            # the instrumented iteration measured computation at the
-            # profile's first multiplier; each later iteration scales its
-            # computation share accordingly.  Every iteration is walked
-            # explicitly — no steady state exists to extrapolate.
-            m0 = self.program.iteration_multiplier(0)
-            for it in range(n_iter):
-                mult = (
-                    self.program.iteration_multiplier(it)
-                    if it < self.program.iterations
-                    else 1.0
-                ) / m0
-                for section, tile_totals, tile_compute, source_read in tables:
-                    scaled = [
-                        [
-                            total + (mult - 1.0) * compute
-                            for total, compute in zip(
-                                tile_totals[n], tile_compute[n]
-                            )
-                        ]
-                        for n in range(P)
+            return totals, steady
+        # Non-uniform iterations (paper Section 3.1's deferred case):
+        # the instrumented iteration measured computation at the
+        # profile's first multiplier; each later iteration scales its
+        # computation share accordingly.  Every iteration is walked
+        # explicitly — no steady state exists to extrapolate.
+        m0 = self.program.iteration_multiplier(0)
+        for it in range(n_iter):
+            mult = (
+                self.program.iteration_multiplier(it)
+                if it < self.program.iterations
+                else 1.0
+            ) / m0
+            for t in tables:
+                scaled = [
+                    [
+                        total + (mult - 1.0) * compute
+                        for total, compute in zip(
+                            t.tile_totals[n], t.tile_compute[n]
+                        )
                     ]
-                    clocks = self.timeline.advance(
-                        section.comm.pattern,
-                        clocks,
-                        scaled,
-                        section.comm.message_bytes,
-                        source_read,
-                    )
-                iter_ends.append(list(clocks))
-            totals = iter_ends[-1]
-            if n_iter >= 2:
-                steady = [
-                    iter_ends[-1][n] - iter_ends[-2][n] for n in range(P)
+                    for n in range(P)
                 ]
-            else:
-                steady = list(iter_ends[0])
+                clocks = self.timeline.advance(
+                    t.section.comm.pattern,
+                    clocks,
+                    scaled,
+                    t.section.comm.message_bytes,
+                    t.source_read,
+                )
+            iter_ends.append(list(clocks))
+        totals = iter_ends[-1]
+        if n_iter >= 2:
+            steady = [
+                iter_ends[-1][n] - iter_ends[-2][n] for n in range(P)
+            ]
+        else:
+            steady = list(iter_ends[0])
+        return totals, steady
 
-        if not want_report:
-            return max(totals)
+    @staticmethod
+    def _iteration_ops(
+        tables: List[_SectionTables],
+    ) -> List[Callable[[np.ndarray], np.ndarray]]:
+        """Fuse one iteration's section advances for the numpy kernel.
+
+        Runs of consecutive max-plus matrices compose into a single
+        matrix (:func:`maxplus_compose`), so an all-matrix program —
+        any mix of NONE / nearest-neighbour / reduction / allgather
+        sections — walks each steady-state iteration with one ``(A +
+        clocks).max(axis=1)``.  Pipeline sections stay as their replay
+        closures, splitting the composition.
+        """
+
+        def matrix_op(A: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+            return lambda clocks: (A + clocks).max(axis=1)
+
+        ops: List[Callable[[np.ndarray], np.ndarray]] = []
+        pending: Optional[np.ndarray] = None
+        for t in tables:
+            if t.matrix is not None:
+                pending = (
+                    t.matrix
+                    if pending is None
+                    else maxplus_compose(t.matrix, pending)
+                )
+            else:
+                if pending is not None:
+                    ops.append(matrix_op(pending))
+                    pending = None
+                ops.append(t.advance)
+        if pending is not None:
+            ops.append(matrix_op(pending))
+        return ops
+
+    def _steady_walk(
+        self,
+        ops: List[Callable[[np.ndarray], np.ndarray]],
+        n_iter: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Iterate the fused per-iteration ops until the increment
+        vector repeats (same convergence rule as the scalar walk), then
+        extrapolate linearly.  Only the last two clock vectors are
+        retained; the increment comparison runs on Python floats —
+        cheaper than array ops at typical node counts.  Returns
+        ``(totals, steady)``."""
+        clocks = np.zeros(self.n_nodes)
+        second_last: Optional[np.ndarray] = None
+        last: Optional[np.ndarray] = None
+        prev_steady: Optional[List[float]] = None
+        steady_now: Optional[np.ndarray] = None
+        simulate = 0
+        while simulate < n_iter:
+            for op in ops:
+                clocks = op(clocks)
+            second_last, last = last, clocks
+            simulate += 1
+            if second_last is not None:
+                steady_now = last - second_last
+                steady_list = steady_now.tolist()
+                if prev_steady is not None:
+                    for a, b in zip(steady_list, prev_steady):
+                        if abs(a - b) > 1e-12 + 1e-9 * abs(b):
+                            break
+                    else:
+                        break
+                prev_steady = steady_list
+        if n_iter == 1 or second_last is None:
+            return last, last
+        totals = last + steady_now * (n_iter - simulate)
+        return totals, steady_now
+
+    def _predict_seconds_lean(
+        self,
+        distribution: GenBlock,
+        n_iter: int,
+        table_cache: Optional[LRUCache],
+    ) -> float:
+        """The search hot path: numpy kernel, scalar result, steady
+        iterations.  Builds the fused iteration ops straight from the
+        per-``(node, rows)`` cache entries — no compute-share tables,
+        no per-section report structures."""
+        P = self.n_nodes
+        cache = table_cache if table_cache is not None else self._tables_cache
+        counts = distribution.counts
+        if cache is None:
+            per_node = [
+                self._node_tables_numpy(
+                    n, counts[n], self.oracle.plan(n, counts[n])
+                )
+                for n in range(P)
+            ]
+        else:
+            per_node = cache.get_many(
+                [(n, counts[n]) for n in range(P)]
+            )
+            for n, entry in enumerate(per_node):
+                if entry is None:
+                    entry = self._node_tables_numpy(
+                        n, counts[n], self.oracle.plan(n, counts[n])
+                    )
+                    cache.put((n, counts[n]), entry)
+                    per_node[n] = entry
+        sections = self.program.sections
+        all_totals = np.empty((P, self._total_tiles))
+        all_source = np.empty((P, len(sections)))
+        for n in range(P):
+            entry = per_node[n]
+            all_totals[n] = entry[0]
+            all_source[n] = entry[2]
+        timeline = self.timeline
+        offsets = self._tile_offsets
+
+        def matrix_op(A: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+            return lambda clocks: (A + clocks).max(axis=1)
+
+        ops: List[Callable[[np.ndarray], np.ndarray]] = []
+        pending: Optional[np.ndarray] = None
+        for si, section in enumerate(sections):
+            lo, hi = offsets[si], offsets[si + 1]
+            tile_totals = all_totals[:, lo:hi]
+            tile_sums = (
+                tile_totals[:, 0] if hi - lo == 1 else tile_totals.sum(axis=1)
+            )
+            matrix = timeline.compile_matrix(
+                section.comm.pattern,
+                tile_totals,
+                section.comm.message_bytes,
+                all_source[:, si],
+                tile_sums,
+            )
+            if matrix is not None:
+                pending = (
+                    matrix
+                    if pending is None
+                    else maxplus_compose(matrix, pending)
+                )
+            else:
+                if pending is not None:
+                    ops.append(matrix_op(pending))
+                    pending = None
+                ops.append(
+                    timeline.compile_advance(
+                        section.comm.pattern,
+                        tile_totals,
+                        section.comm.message_bytes,
+                        all_source[:, si],
+                        tile_sums,
+                    )
+                )
+        if pending is not None:
+            ops.append(matrix_op(pending))
+        totals, _ = self._steady_walk(ops, n_iter)
+        return float(totals.max())
+
+    def _walk_arrays(
+        self, tables: List[_SectionTables], n_iter: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised clock walk: same control flow as
+        :meth:`_walk_scalar`, per-node arithmetic on float64 arrays."""
+        clocks = np.zeros(self.n_nodes)
+        iter_ends: List[np.ndarray] = []
+        profile = self.program.iteration_profile
+        if profile is None:
+            return self._steady_walk(self._iteration_ops(tables), n_iter)
+        m0 = self.program.iteration_multiplier(0)
+        for it in range(n_iter):
+            mult = (
+                self.program.iteration_multiplier(it)
+                if it < self.program.iterations
+                else 1.0
+            ) / m0
+            for t in tables:
+                scaled = t.tile_totals + (mult - 1.0) * t.tile_compute
+                clocks = self.timeline.advance_arrays(
+                    t.section.comm.pattern,
+                    clocks,
+                    scaled,
+                    t.section.comm.message_bytes,
+                    t.source_read,
+                )
+            iter_ends.append(clocks)
+        totals = iter_ends[-1]
+        steady = (
+            iter_ends[-1] - iter_ends[-2] if n_iter >= 2 else iter_ends[0]
+        )
+        return totals, steady
+
+    # -- assembly ---------------------------------------------------------------
+
+    @staticmethod
+    def _row_sum(row) -> float:
+        """Sum one node's per-tile table (list or ndarray)."""
+        if isinstance(row, np.ndarray):
+            return float(row.sum())
+        return sum(row)
+
+    def _predict(
+        self,
+        distribution: GenBlock,
+        iterations: Optional[int],
+        want_report: bool,
+        table_cache: Optional[LRUCache] = None,
+    ):
+        if distribution.n_nodes != self.n_nodes:
+            raise ModelError("distribution does not match the model's nodes")
+        if distribution.n_rows != self.program.n_rows:
+            raise ModelError("distribution does not cover the program's rows")
+        n_iter = (
+            iterations if iterations is not None else self.program.iterations
+        )
+        if (
+            self.kernel == "numpy"
+            and not want_report
+            and self.program.iteration_profile is None
+        ):
+            return self._predict_seconds_lean(
+                distribution, n_iter, table_cache
+            )
+        P = self.n_nodes
+        tables = self._section_tables(distribution, table_cache)
+
+        if self.kernel == "numpy":
+            totals, steady = self._walk_arrays(tables, n_iter)
+            if not want_report:
+                return float(totals.max())
+        else:
+            totals, steady = self._walk_scalar(tables, n_iter)
+            if not want_report:
+                return max(totals)
 
         nodes = []
         for n in range(P):
             sections = []
-            for section, tile_totals, tile_compute, source_read in tables:
-                compute = sum(tile_compute[n])
-                io = sum(tile_totals[n]) - compute
+            for t in tables:
+                compute = self._row_sum(t.tile_compute[n])
+                io = self._row_sum(t.tile_totals[n]) - compute
                 sections.append(
                     SectionBreakdown(
-                        section=section.name,
+                        section=t.section.name,
                         compute_seconds=compute,
                         io_seconds=io,
                         comm_seconds=0.0,  # filled below
@@ -306,19 +742,19 @@ class MhetaModel:
             # The residual can dip below zero when the steady-state
             # iteration is cheaper than the summed local work (overlap);
             # a negative "communication time" is meaningless, so clamp.
-            comm = max(steady[n] - local, 0.0)
+            comm = max(float(steady[n]) - local, 0.0)
             comm_specs = [
-                sec.comm
-                for (sec, *_rest) in tables
-                if sec.comm.pattern is not CommPattern.NONE
+                t.section.comm
+                for t in tables
+                if t.section.comm.pattern is not CommPattern.NONE
             ]
             total_bytes = sum(c.message_bytes for c in comm_specs)
             final_sections = []
-            for s, (sec, *_rest) in zip(sections, tables):
-                if sec.comm.pattern is CommPattern.NONE:
+            for s, t in zip(sections, tables):
+                if t.section.comm.pattern is CommPattern.NONE:
                     share = 0.0
                 elif total_bytes > 0:
-                    share = comm * sec.comm.message_bytes / total_bytes
+                    share = comm * t.section.comm.message_bytes / total_bytes
                 else:
                     # Zero-byte messages still synchronise; split evenly.
                     share = comm / len(comm_specs)
@@ -333,8 +769,8 @@ class MhetaModel:
             nodes.append(
                 NodePrediction(
                     node=n,
-                    iteration_seconds=steady[n],
-                    total_seconds=totals[n],
+                    iteration_seconds=float(steady[n]),
+                    total_seconds=float(totals[n]),
                     sections=tuple(final_sections),
                 )
             )

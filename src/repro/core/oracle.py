@@ -15,14 +15,19 @@ runtime must stream, and MHETA then under-predicts by the missing I/O.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 from repro.distribution.genblock import GenBlock
 from repro.exceptions import ModelError
 from repro.placement import MemoryPlan, plan_memory
 from repro.program.structure import ProgramStructure
+from repro.util.lru import LRUCache
 
 __all__ = ["OutOfCoreOracle"]
+
+#: Bound of the per-``(node, rows)`` plan memo; long sweeps revisit row
+#: counts constantly but must not grow memory without limit.
+DEFAULT_PLAN_CACHE_ENTRIES = 8192
 
 
 class OutOfCoreOracle:
@@ -38,13 +43,16 @@ class OutOfCoreOracle:
     """
 
     def __init__(
-        self, program: ProgramStructure, memory_bytes: Sequence[int]
+        self,
+        program: ProgramStructure,
+        memory_bytes: Sequence[int],
+        cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
     ) -> None:
         if len(memory_bytes) == 0:
             raise ModelError("oracle needs at least one node's memory size")
         self._program = program
         self._memory = [int(m) for m in memory_bytes]
-        self._cache: Dict[tuple, MemoryPlan] = {}
+        self._cache = LRUCache(cache_entries)
 
     @property
     def n_nodes(self) -> int:
@@ -58,7 +66,7 @@ class OutOfCoreOracle:
         plan = self._cache.get(key)
         if plan is None:
             plan = plan_memory(self._program, rows, self._memory[node])
-            self._cache[key] = plan
+            self._cache.put(key, plan)
         return plan
 
     def plans(self, distribution: GenBlock) -> list:

@@ -28,6 +28,8 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.util.lru import LRUCache
+
 __all__ = ["SweepCache", "content_key"]
 
 
@@ -92,18 +94,37 @@ class SweepCache:
         Optional JSON file for on-disk persistence.  If it exists it is
         loaded eagerly; :meth:`save` writes the merged contents back, so
         repeated benchmark/CLI invocations skip redundant emulation.
+    max_entries:
+        Optional bound on the in-memory store.  When set, the cache
+        keeps only the ``max_entries`` most recently used pairs
+        (least-recently-used eviction), so unattended long-running
+        sweeps hold memory at a fixed ceiling; ``None`` (default) keeps
+        everything, as before.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
         self.path = Path(path) if path is not None else None
-        self._store: Dict[str, Tuple[float, float]] = {}
+        self._store: Union[Dict[str, Tuple[float, float]], LRUCache]
+        if max_entries is None:
+            self._store = {}
+        else:
+            self._store = LRUCache(max_entries)
         self.hits = 0
         self.misses = 0
         if self.path is not None and self.path.exists():
             raw = json.loads(self.path.read_text(encoding="utf-8"))
-            self._store = {
-                k: (float(a), float(p)) for k, (a, p) in raw.items()
-            }
+            for k, (a, p) in raw.items():
+                self._put(k, (float(a), float(p)))
+
+    def _put(self, key: str, pair: Tuple[float, float]) -> None:
+        if isinstance(self._store, LRUCache):
+            self._store.put(key, pair)
+        else:
+            self._store[key] = pair
 
     def __len__(self) -> int:
         return len(self._store)
@@ -136,9 +157,9 @@ class SweepCache:
         predicted: float,
         perturbation=None,
     ) -> None:
-        self._store[self.key(cluster, program, distribution, perturbation)] = (
-            float(actual),
-            float(predicted),
+        self._put(
+            self.key(cluster, program, distribution, perturbation),
+            (float(actual), float(predicted)),
         )
 
     def save(self) -> None:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -58,12 +59,34 @@ class EvaluationCache:
         a pure lookup, never an evaluation."""
         return self._cache[key]
 
+    #: Tolerance for re-inserted values: the same distribution evaluated
+    #: twice must produce the same prediction (the model is pure), so
+    #: anything beyond rounding noise is a double-evaluation bug.
+    PUT_REL_TOL = 1e-9
+
     def put(self, key: Tuple[int, ...], value: float) -> None:
         """Record an evaluation performed outside the cache (e.g. a full
-        prediction report whose total is the scalar value)."""
-        if key not in self._cache:
+        prediction report whose total is the scalar value).
+
+        Re-inserting an existing key with a matching value is a no-op;
+        a *conflicting* value raises :class:`SearchError` — silently
+        keeping either number would mask a double-evaluation bug (two
+        code paths disagreeing about the same distribution).
+        """
+        existing = self._cache.get(key)
+        if existing is None:
             self._cache[key] = value
             self.misses += 1
+            return
+        if not math.isclose(
+            existing, value, rel_tol=self.PUT_REL_TOL, abs_tol=1e-12
+        ):
+            raise SearchError(
+                f"conflicting evaluations for distribution {key}: cached "
+                f"{existing!r} vs new {value!r} (beyond rel_tol="
+                f"{self.PUT_REL_TOL}); the evaluation function is not "
+                "deterministic or two code paths disagree"
+            )
 
     def best(self) -> Optional[Tuple[Tuple[int, ...], float]]:
         """The best ``(counts, value)`` pair seen, or ``None``."""

@@ -1,5 +1,7 @@
-"""Shared utilities: units, deterministic RNG streams, table rendering."""
+"""Shared utilities: units, deterministic RNG streams, table rendering,
+bounded LRU memoisation."""
 
+from repro.util.lru import LRUCache
 from repro.util.units import (
     KIB,
     MIB,
@@ -15,6 +17,7 @@ from repro.util.tables import render_table, render_series
 from repro.util.ascii_plot import ascii_plot
 
 __all__ = [
+    "LRUCache",
     "KIB",
     "MIB",
     "GIB",

@@ -1,0 +1,102 @@
+"""A small bounded LRU mapping.
+
+Several layers memoise work keyed by ``(node, rows)`` — the out-of-core
+oracle's memory plans, the model's per-node stage tables — and long
+sweeps visit an unbounded set of row counts, so plain dict memos grow
+without limit.  ``LRUCache`` is the shared bounded replacement: a plain
+``OrderedDict`` under the hood, recency-ordered, evicting the least
+recently used entry once ``maxsize`` is reached.  No threads touch these
+caches (parallelism in this repo is process-based), so there is no
+locking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator, Optional
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries kept.  Must be positive — callers that
+        want "no cache" should not construct one.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def get_many(self, keys) -> list:
+        """Batched :meth:`get`: one value (or ``None``) per key, with a
+        single method call's overhead for hot loops."""
+        data = self._data
+        move = data.move_to_end
+        out = []
+        hits = 0
+        for key in keys:
+            value = data.get(key)
+            if value is not None:
+                move(key)
+                hits += 1
+            out.append(value)
+        self.hits += hits
+        self.misses += len(out) - hits
+        return out
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def items(self):
+        """Current ``(key, value)`` pairs, least recently used first."""
+        return self._data.items()
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def stats(self) -> dict:
+        """Counters for diagnostics and benchmark JSON."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

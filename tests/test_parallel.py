@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import config_dc, config_io
-from repro.distribution import balanced, block
+from repro.distribution import GenBlock, balanced, block
 from repro.experiments import build_model, fig9_accuracy, run_spectrum
 from repro.parallel import (
     ParallelRunner,
@@ -108,6 +108,33 @@ class TestSweepCache:
             cache.lookup(cluster, program, d, PerturbationConfig.none())
             is None
         )
+
+    def test_max_entries_bounds_store(self):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        rows = program.n_rows
+        n = len(cluster.nodes)
+        dists = [
+            GenBlock([rows - i * (n - 1)] + [i] * (n - 1)) for i in range(6)
+        ]
+        cache = SweepCache(max_entries=3)
+        for i, d in enumerate(dists):
+            cache.store(cluster, program, d, float(i), float(i))
+        assert len(cache) == 3
+        # The three most recent survive; the oldest were evicted.
+        assert cache.lookup(cluster, program, dists[-1]) == (5.0, 5.0)
+        assert cache.lookup(cluster, program, dists[0]) is None
+
+    def test_max_entries_round_trip_to_disk(self, tmp_path):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d = block(cluster, program.n_rows)
+        path = tmp_path / "bounded-cache.json"
+        cache = SweepCache(path, max_entries=8)
+        cache.store(cluster, program, d, 3.0, 3.5)
+        cache.save()
+        reloaded = SweepCache(path, max_entries=8)
+        assert reloaded.lookup(cluster, program, d) == (3.0, 3.5)
 
 
 class TestPredictMany:

@@ -246,3 +246,32 @@ class TestSearchValidation:
         result = RandomSearch(model, samples=5).search(budget=10)
         text = str(result)
         assert "random" in text and "evaluations" in text
+
+
+class TestEvaluationCachePut:
+    def test_put_records_external_evaluation(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        d = block(cluster, program.n_rows)
+        cache.put(d.counts, 1.25)
+        assert cache(d) == 1.25  # served from cache, not re-evaluated
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_put_matching_value_is_noop(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        d = block(cluster, program.n_rows)
+        value = cache(d)
+        cache.put(d.counts, value)  # exact repeat
+        cache.put(d.counts, value * (1 + 1e-12))  # rounding noise
+        assert cache.value(d.counts) == value
+
+    def test_put_conflicting_value_raises(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        d = block(cluster, program.n_rows)
+        value = cache(d)
+        with pytest.raises(SearchError, match="conflicting evaluations"):
+            cache.put(d.counts, value * 1.01)
+        # The original value survives the rejected insert.
+        assert cache.value(d.counts) == value

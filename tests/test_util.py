@@ -111,3 +111,64 @@ class TestRenderSeries:
     def test_length_mismatch_raises(self):
         with pytest.raises(ValueError):
             render_series("x", [1, 2], {"y": [3.0]})
+
+
+class TestLRUCache:
+    def test_put_get_round_trip(self):
+        from repro.util import LRUCache
+
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+        assert cache.stats == {
+            "size": 1, "maxsize": 4, "hits": 1, "misses": 2, "evictions": 0,
+        }
+
+    def test_evicts_least_recently_used(self):
+        from repro.util import LRUCache
+
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        from repro.util import LRUCache
+
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-insert refreshes, so "b" is evicted next
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_get_many_matches_serial_gets(self):
+        from repro.util import LRUCache
+
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        cache.put("c", 3)
+        assert cache.get_many(["a", "b", "c"]) == [1, None, 3]
+        assert cache.hits == 2
+        assert cache.misses == 1
+        # "a" and "c" were refreshed, so an insert evicts the untouched key.
+        small = LRUCache(2)
+        small.put("x", 1)
+        small.put("y", 2)
+        small.get_many(["x"])
+        small.put("z", 3)
+        assert "x" in small and "y" not in small
+
+    def test_maxsize_must_be_positive(self):
+        from repro.util import LRUCache
+
+        with pytest.raises(ValueError):
+            LRUCache(0)
