@@ -9,9 +9,11 @@ hits them equally — and writes the machine-readable scoreboard
 ``BENCH_model_speed.json`` at the repo root:
 
 * ``evaluations_per_second`` for each kernel/cache configuration,
-* wall-time of a ``predict_seconds``-driven GBS search per kernel,
-* the headline speedup (numpy, cached — the default configuration —
-  over the scalar seed behaviour), asserted >= 3x.
+  through the serial call and through ``predict_seconds_batch``,
+* wall-time of a batched-GBS search per kernel,
+* the headline speedups (numpy, cached — the default configuration —
+  over the scalar seed behaviour); the *search-level* speedup is the
+  hard acceptance gate, asserted >= 3x.
 """
 
 from __future__ import annotations
@@ -85,12 +87,38 @@ def _interleaved_throughput(models, candidates, reps=30):
     }
 
 
+def _batched_throughput(models, candidates, reps=30):
+    """Per-config evaluations/second through ``predict_seconds_batch``
+    (the scalar configs loop internally — the honest baseline for the
+    vectorized pass), interleaved like the serial loop."""
+    for model in models.values():  # warm caches and bytecode
+        model.predict_seconds_batch(candidates)
+    spent = {label: 0.0 for label in models}
+    for _ in range(reps):
+        for label, model in models.items():
+            t0 = time.perf_counter()
+            model.predict_seconds_batch(candidates)
+            spent[label] += time.perf_counter() - t0
+    evaluations = reps * len(candidates)
+    return {
+        label: {
+            "evaluations_per_second": evaluations / seconds,
+            "mean_ms": seconds / evaluations * 1e3,
+            "evaluations": evaluations,
+            "batch_size": len(candidates),
+        }
+        for label, seconds in spent.items()
+    }
+
+
 def _search_walltime(cluster, program, models, reps=5):
     """Wall-time of a full GBS search (the paper's Section 5 driver)
     through each kernel, interleaved like the throughput loop."""
     out = {}
     spent = {label: 0.0 for label in models}
     results = {}
+    for label, model in models.items():  # warm table caches on the grid
+        GeneralizedBinarySearch(model, cluster).search(budget=300)
     for _ in range(reps):
         for label, model in models.items():
             search = GeneralizedBinarySearch(model, cluster)
@@ -118,11 +146,15 @@ def test_kernel_throughput_and_search(benchmark, save_result):
         _interleaved_throughput, args=(models, candidates),
         rounds=1, iterations=1,
     )
+    batched = _batched_throughput(models, candidates)
     search = _search_walltime(cluster, program, models)
 
     baseline = throughput["scalar-uncached"]["evaluations_per_second"]
     default = throughput["numpy-cached"]["evaluations_per_second"]
     eval_speedup = default / baseline
+    batch_speedup = (
+        batched["numpy-cached"]["evaluations_per_second"] / baseline
+    )
     search_speedup = (
         search["scalar-uncached"]["mean_seconds"]
         / search["numpy-cached"]["mean_seconds"]
@@ -130,13 +162,15 @@ def test_kernel_throughput_and_search(benchmark, save_result):
 
     payload = {
         "benchmark": "model_speed",
-        "workload": "jacobi on HY1, spectrum candidates + GBS search",
+        "workload": "jacobi on HY1, spectrum candidates + batched GBS search",
         "paper_ms_per_evaluation": 5.4,
         "python": platform.python_version(),
         "throughput": throughput,
+        "batched_throughput": batched,
         "search": search,
         "speedup": {
             "evaluations_numpy_cached_vs_scalar_uncached": eval_speedup,
+            "batched_numpy_cached_vs_scalar_uncached": batch_speedup,
             "search_numpy_cached_vs_scalar_uncached": search_speedup,
             "required": REQUIRED_SPEEDUP,
         },
@@ -152,9 +186,12 @@ def test_kernel_throughput_and_search(benchmark, save_result):
         "~5.4 ms/eval on 2005 hardware):"
     ]
     for label, row in throughput.items():
+        brow = batched[label]
         lines.append(
             f"  {label:16s} {row['evaluations_per_second']:8.0f} evals/s "
-            f"({row['mean_ms']:.3f} ms)"
+            f"({row['mean_ms']:.3f} ms) | batched "
+            f"{brow['evaluations_per_second']:8.0f} evals/s "
+            f"({brow['mean_ms']:.3f} ms)"
         )
     lines.append(
         f"  GBS search: scalar {search['scalar-uncached']['mean_seconds']*1e3:.1f} ms "
@@ -162,20 +199,20 @@ def test_kernel_throughput_and_search(benchmark, save_result):
     )
     lines.append(
         f"  speedup: {eval_speedup:.2f}x evaluations, "
-        f"{search_speedup:.2f}x search (required >= {REQUIRED_SPEEDUP:.0f}x)"
+        f"{batch_speedup:.2f}x batched, {search_speedup:.2f}x search "
+        f"(search required >= {REQUIRED_SPEEDUP:.0f}x)"
     )
     save_result("model_speed", "\n".join(lines))
 
     # Usable on the fly (the paper's claim) for every configuration...
     for row in throughput.values():
         assert row["mean_ms"] < 10.0
-    # ...and the vectorised default must beat the seed by the issue's bar
-    # on the search-driven workload it exists for.
-    best = max(eval_speedup, search_speedup)
-    assert best >= REQUIRED_SPEEDUP, (
-        f"numpy kernel speedup {best:.2f}x below required "
+    # ...and the batched default must beat the seed by the issue's bar on
+    # the end-to-end workload it exists for: the search itself.
+    assert search_speedup >= REQUIRED_SPEEDUP, (
+        f"batched search speedup {search_speedup:.2f}x below required "
         f"{REQUIRED_SPEEDUP}x (evals {eval_speedup:.2f}x, "
-        f"search {search_speedup:.2f}x)"
+        f"batched {batch_speedup:.2f}x)"
     )
 
 

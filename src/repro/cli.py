@@ -177,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--budget", type=int, default=150)
     p.add_argument(
+        "--batch-size", type=int, default=64, metavar="N",
+        help="candidates scored per vectorized model pass (default 64); "
+        "strategies with a natural population size (genetic, GBS legs) "
+        "use that instead",
+    )
+    p.add_argument(
         "--verify", action="store_true",
         help="run the emulator on each winner and report the actual time",
     )
@@ -315,12 +321,17 @@ def _cmd_search(args) -> str:
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
     model = build_model(cluster, program, kernel=args.kernel)
+    batch_size = args.batch_size
     factories = {
-        "gbs": lambda: GeneralizedBinarySearch(model, cluster),
+        "gbs": lambda: GeneralizedBinarySearch(
+            model, cluster, batch_size=batch_size
+        ),
         "genetic": lambda: GeneticSearch(model),
-        "annealing": lambda: SimulatedAnnealingSearch(model),
-        "random": lambda: RandomSearch(model),
-        "sweep": lambda: SpectrumSweep(model, cluster),
+        "annealing": lambda: SimulatedAnnealingSearch(
+            model, batch_size=batch_size
+        ),
+        "random": lambda: RandomSearch(model, batch_size=batch_size),
+        "sweep": lambda: SpectrumSweep(model, cluster, batch_size=batch_size),
     }
     names = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
     results = [factories[n]().search(budget=args.budget) for n in names]

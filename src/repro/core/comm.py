@@ -28,6 +28,7 @@ from repro.program.sections import CommPattern
 __all__ = [
     "SectionTimeline",
     "maxplus_compose",
+    "maxplus_compose_batch",
     "nearest_neighbor_wait",
     "pipeline_waits",
 ]
@@ -38,6 +39,15 @@ def maxplus_compose(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
     k] + inner[k, j])``: the matrix of the composed map "apply
     ``inner``, then ``outer``".  Absent edges are ``-inf``."""
     return (outer[:, :, None] + inner[None, :, :]).max(axis=1)
+
+
+def maxplus_compose_batch(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """:func:`maxplus_compose` over a leading candidate axis: ``outer``
+    and ``inner`` are ``(B, P, P)`` stacks of per-candidate section
+    matrices.  The per-candidate arithmetic is element-for-element the
+    single-candidate product (additions are elementwise, ``max`` is
+    exact), so each slice agrees with composing that candidate alone."""
+    return (outer[:, :, :, None] + inner[:, None, :, :]).max(axis=2)
 
 
 def nearest_neighbor_wait(
@@ -294,7 +304,13 @@ class SectionTimeline:
         """Band vectors of the neighbour exchange's tridiagonal max-plus
         matrix (self / from-left / from-right), derived by distributing
         the receive overheads over the two receive steps of
-        :meth:`_nearest_neighbor_arrays`."""
+        :meth:`_nearest_neighbor_arrays`.
+
+        ``source_read`` and ``tile_sums`` may carry a leading candidate
+        axis (``(B, P)`` instead of ``(P,)``); every operation is
+        elementwise or a node-axis slice, so the batched bands are
+        per-candidate identical to the single-candidate ones.
+        """
         os_ = self._micro.send_overhead
         or_ = self._micro.recv_overhead
         x = self._transfer(nbytes)
@@ -305,11 +321,11 @@ class SectionTimeline:
         # from_left[k] pairs clocks[k] with end[k + 1]; the message
         # leaves after the sender's posts and arrives before both of
         # the receiver's receive steps.
-        from_left = local[:-1] + (x + self._nn_or2_tail)
+        from_left = local[..., :-1] + (x + self._nn_or2_tail)
         # from_right[k] pairs clocks[k + 1] with end[k]; the right
         # neighbour's *first* post feeds it, and only the second
         # receive step's overhead applies.
-        from_right = (tile_sums + post)[1:] + (x + or_)
+        from_right = (tile_sums + post)[..., 1:] + (x + or_)
         return diag, from_left, from_right
 
     def compile_matrix(
@@ -351,6 +367,109 @@ class SectionTimeline:
             )
             return A
         raise ModelError(f"unknown communication pattern: {pattern}")
+
+    # -- batched sections (the ``predict_seconds_batch`` path) ---------------
+    #
+    # A whole population of candidate distributions advances together:
+    # clocks become ``(B, P)`` arrays, section matrices ``(B, P, P)``
+    # stacks.  Every batched expression applies the exact per-candidate
+    # arithmetic of the single-candidate methods with a leading batch
+    # axis broadcast over it — candidates never mix (no reduction runs
+    # across the batch axis), so slice ``b`` of every result equals the
+    # single-candidate computation for candidate ``b``.
+
+    def compile_matrix_batch(
+        self,
+        pattern: CommPattern,
+        message_bytes: float,
+        source_read: np.ndarray,
+        tile_sums: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Batched :meth:`compile_matrix`: the ``(B, P, P)`` stack of one
+        section's per-candidate max-plus matrices, or ``None`` for
+        patterns with no clock-independent matrix (pipelines).
+
+        ``source_read`` and ``tile_sums`` are ``(B, P)`` — one row per
+        candidate distribution.
+        """
+        P = self.n_nodes
+        B = tile_sums.shape[0]
+        if P == 1 or pattern is CommPattern.NONE:
+            A = np.full((B, P, P), -np.inf)
+            idx = self._idx
+            A[:, idx, idx] = tile_sums
+            return A
+        if pattern is CommPattern.PIPELINE:
+            return None
+        if pattern in (CommPattern.REDUCTION, CommPattern.ALLGATHER):
+            base = self._maxplus_matrix(pattern, message_bytes)
+            return base[None, :, :] + tile_sums[:, None, :]
+        if pattern is CommPattern.NEAREST_NEIGHBOR:
+            diag, from_left, from_right = self._nn_bands(
+                message_bytes, source_read, tile_sums
+            )
+            A = np.full((B, P, P), -np.inf)
+            A.reshape(B, P * P)[:, self._tri_flat] = np.concatenate(
+                (diag, from_left, from_right), axis=1
+            )
+            return A
+        raise ModelError(f"unknown communication pattern: {pattern}")
+
+    def compile_advance_batch(
+        self,
+        pattern: CommPattern,
+        tile_seconds: np.ndarray,
+        message_bytes: float,
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Batched :meth:`compile_advance` for the patterns that have no
+        max-plus matrix — today only the pipeline, whose per-tile
+        interleaving depends on the clocks.  ``tile_seconds`` is
+        ``(B, P, tiles)``; the closure maps ``(B, P)`` clocks."""
+        if pattern is CommPattern.PIPELINE:
+            return lambda clocks: self._pipeline_arrays_batch(
+                clocks, tile_seconds, message_bytes
+            )
+        raise ModelError(
+            f"pattern {pattern} compiles to a matrix, not an advance"
+        )
+
+    def _pipeline_arrays_batch(
+        self, start: np.ndarray, tile_seconds: np.ndarray, nbytes: float
+    ) -> np.ndarray:
+        """:meth:`_pipeline_arrays` with a leading candidate axis: the
+        per-node prefix scan runs on ``(B, tiles)`` slabs (cumsum and
+        ``maximum.accumulate`` along the tile axis), so slice ``b``
+        replays candidate ``b``'s pipeline exactly."""
+        P = self.n_nodes
+        os_ = self._micro.send_overhead
+        or_ = self._micro.recv_overhead
+        x = self._transfer(nbytes)
+        B, nodes, tiles = tile_seconds.shape
+        if nodes != P:
+            raise ModelError("timeline inputs do not match node count")
+        end = np.empty((B, P))
+        upstream_arrival: Optional[np.ndarray] = None
+        for n in range(P):
+            cost = tile_seconds[:, n, :].astype(np.float64, copy=True)
+            if n < P - 1:
+                cost += os_
+            if n > 0:
+                cost += or_
+            prefix = np.cumsum(cost, axis=1)
+            if upstream_arrival is None:
+                now = start[:, n, None] + prefix
+            else:
+                offsets = np.empty((B, tiles))
+                offsets[:, 0] = 0.0
+                offsets[:, 1:] = prefix[:, :-1]
+                frontier = np.maximum.accumulate(
+                    upstream_arrival - offsets, axis=1
+                )
+                now = prefix + np.maximum(start[:, n, None], frontier)
+            if n < P - 1:
+                upstream_arrival = now + x
+            end[:, n] = now[:, -1]
+        return end
 
     def _nearest_neighbor_arrays(
         self, stage_end: np.ndarray, nbytes: float, source_read: np.ndarray

@@ -44,7 +44,11 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cluster.cluster import ClusterSpec
-from repro.core.comm import SectionTimeline, maxplus_compose
+from repro.core.comm import (
+    SectionTimeline,
+    maxplus_compose,
+    maxplus_compose_batch,
+)
 from repro.core.io_model import StageTimeModel
 from repro.core.oracle import OutOfCoreOracle
 from repro.core.report import (
@@ -225,6 +229,176 @@ class MhetaModel:
             )
             for d in distributions
         ]
+
+    def predict_seconds_batch(
+        self,
+        distributions: Sequence[GenBlock],
+        iterations: Optional[int] = None,
+    ) -> np.ndarray:
+        """Score a whole candidate population in one vectorized pass.
+
+        The candidates' GEN_BLOCK row counts stack into a ``(B, P)``
+        matrix; each distinct ``(node, rows)`` pair across the *whole
+        batch* is looked up (or built) in the shared table LRU exactly
+        once; and the numpy kernel — stage-table assembly, max-plus
+        section matrices and their composition, the steady-state clock
+        walk — evaluates every section over the candidate axis in a
+        single array pass instead of once per candidate.  Candidates
+        never mix (no reduction crosses the batch axis), so entry ``b``
+        agrees with ``predict_seconds(distributions[b])`` to within the
+        kernel contract (<= 1e-12 relative; pinned by
+        ``tests/test_batch_equivalence.py``).
+
+        ``kernel="scalar"`` models fall back to a loop of scalar
+        predictions, preserving the golden-equivalence contract
+        bit-for-bit; iteration-profile programs (no steady state to
+        extrapolate) loop the per-candidate numpy walk.
+        """
+        dists = list(distributions)
+        if not dists:
+            return np.empty(0)
+        P = self.n_nodes
+        for d in dists:
+            if d.n_nodes != P:
+                raise ModelError(
+                    "distribution does not match the model's nodes"
+                )
+            if d.n_rows != self.program.n_rows:
+                raise ModelError(
+                    "distribution does not cover the program's rows"
+                )
+        if (
+            self.kernel != "numpy"
+            or self.program.iteration_profile is not None
+        ):
+            return np.array(
+                [
+                    self._predict(d, iterations, want_report=False)
+                    for d in dists
+                ]
+            )
+        n_iter = (
+            iterations if iterations is not None else self.program.iterations
+        )
+        B = len(dists)
+        counts = np.array([d.counts for d in dists], dtype=np.int64)
+        cache = self._tables_cache
+        if cache is None:
+            # Same transient-bound policy as predict_many: the batch
+            # shares tables without growing memory past the default cap.
+            cache = LRUCache(DEFAULT_TABLE_CACHE_ENTRIES)
+        sections = self.program.sections
+        all_totals = np.empty((B, P, self._total_tiles))
+        all_source = np.empty((B, P, len(sections)))
+        for n in range(P):
+            uniq, inverse = np.unique(counts[:, n], return_inverse=True)
+            node_totals = np.empty((len(uniq), self._total_tiles))
+            node_source = np.empty((len(uniq), len(sections)))
+            for u, rows in enumerate(uniq):
+                rows = int(rows)
+                entry = cache.get((n, rows))
+                if entry is None:
+                    entry = self._node_tables_numpy(
+                        n, rows, self.oracle.plan(n, rows)
+                    )
+                    cache.put((n, rows), entry)
+                node_totals[u] = entry[0]
+                node_source[u] = entry[2]
+            all_totals[:, n, :] = node_totals[inverse]
+            all_source[:, n, :] = node_source[inverse]
+
+        timeline = self.timeline
+        offsets = self._tile_offsets
+
+        def matrix_op(A: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+            return lambda clocks: (A + clocks[:, None, :]).max(axis=2)
+
+        ops: List[Callable[[np.ndarray], np.ndarray]] = []
+        pending: Optional[np.ndarray] = None
+        for si, section in enumerate(sections):
+            lo, hi = offsets[si], offsets[si + 1]
+            tile_totals = all_totals[:, :, lo:hi]
+            tile_sums = (
+                tile_totals[:, :, 0]
+                if hi - lo == 1
+                else tile_totals.sum(axis=2)
+            )
+            matrix = timeline.compile_matrix_batch(
+                section.comm.pattern,
+                section.comm.message_bytes,
+                all_source[:, :, si],
+                tile_sums,
+            )
+            if matrix is not None:
+                pending = (
+                    matrix
+                    if pending is None
+                    else maxplus_compose_batch(matrix, pending)
+                )
+            else:
+                if pending is not None:
+                    ops.append(matrix_op(pending))
+                    pending = None
+                ops.append(
+                    timeline.compile_advance_batch(
+                        section.comm.pattern,
+                        tile_totals,
+                        section.comm.message_bytes,
+                    )
+                )
+        if pending is not None:
+            ops.append(matrix_op(pending))
+        totals = self._steady_walk_batch(ops, n_iter, B)
+        return totals.max(axis=1)
+
+    def _steady_walk_batch(
+        self,
+        ops: List[Callable[[np.ndarray], np.ndarray]],
+        n_iter: int,
+        batch: int,
+    ) -> np.ndarray:
+        """Batched :meth:`_steady_walk`: ``(B, P)`` clocks advance
+        through the fused per-iteration ops together, but each candidate
+        converges *individually* — the moment candidate ``b``'s
+        increment vector repeats (the scalar walk's convergence rule,
+        same tolerances), its extrapolated totals are frozen while the
+        rest keep walking.  Frozen rows keep advancing numerically
+        (max-plus ops are stable) but their recorded result no longer
+        changes, so per-candidate results match the sequential walk."""
+        P = self.n_nodes
+        clocks = np.zeros((batch, P))
+        totals = np.empty((batch, P))
+        active = np.ones(batch, dtype=bool)
+        second_last: Optional[np.ndarray] = None
+        last: Optional[np.ndarray] = None
+        prev_steady: Optional[np.ndarray] = None
+        simulate = 0
+        while simulate < n_iter:
+            for op in ops:
+                clocks = op(clocks)
+            second_last, last = last, clocks
+            simulate += 1
+            if second_last is not None:
+                steady_now = last - second_last
+                if prev_steady is not None:
+                    converged = (
+                        np.abs(steady_now - prev_steady)
+                        <= 1e-12 + 1e-9 * np.abs(prev_steady)
+                    ).all(axis=1)
+                    newly = active & converged
+                    if newly.any():
+                        totals[newly] = (
+                            last[newly]
+                            + steady_now[newly] * (n_iter - simulate)
+                        )
+                        active[newly] = False
+                        if not active.any():
+                            return totals
+                prev_steady = steady_now
+        # Walked every iteration without (all candidates) converging:
+        # the remaining rows' totals are simply their final clocks.
+        totals[active] = last[active]
+        return totals
 
     # -- table construction -----------------------------------------------------
 

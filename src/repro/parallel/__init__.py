@@ -13,7 +13,10 @@ parallel.  This package provides the shared machinery:
   memoisation of ``(cluster, program, distribution) -> (actual,
   predicted)`` pairs, in memory and optionally on disk;
 * :func:`verify_distributions` — parallel emulator verification of
-  search winners.
+  search winners;
+* :func:`predict_seconds_sharded` — shard a large candidate batch
+  across workers, each scoring its slice with the vectorized
+  ``predict_seconds_batch`` kernel.
 
 Determinism: every emulator run seeds its RNG streams from
 ``(cluster, program, distribution, node)`` labels (see
@@ -22,14 +25,17 @@ runs them or in which order — fan-out is bit-identical to serial
 execution by construction, and the equivalence is regression-tested.
 """
 
-from repro.parallel.runner import ParallelRunner, resolve_jobs
+from repro.parallel.runner import ParallelRunner, resolve_jobs, split_shards
 from repro.parallel.cache import SweepCache, content_key
+from repro.parallel.predict import predict_seconds_sharded
 from repro.parallel.verify import verify_distributions
 
 __all__ = [
     "ParallelRunner",
     "resolve_jobs",
+    "split_shards",
     "SweepCache",
     "content_key",
+    "predict_seconds_sharded",
     "verify_distributions",
 ]

@@ -17,6 +17,7 @@ from repro.search.base import (
     EvaluationCache,
     SearchAlgorithm,
     SearchResult,
+    evaluate_batch,
 )
 from repro.search.gbs import GeneralizedBinarySearch
 from repro.search.genetic import GeneticSearch
@@ -34,4 +35,5 @@ __all__ = [
     "SimulatedAnnealingSearch",
     "RandomSearch",
     "SpectrumSweep",
+    "evaluate_batch",
 ]

@@ -7,9 +7,13 @@ from typing import Callable, Optional
 
 from repro.core.model import MhetaModel
 from repro.distribution.genblock import GenBlock
-from repro.search.base import SearchAlgorithm
+from repro.search.base import SearchAlgorithm, evaluate_batch
 
 __all__ = ["SimulatedAnnealingSearch"]
+
+#: Minimum Metropolis moves a chain needs to travel anywhere useful;
+#: the chain count is sized so every chain gets at least this many.
+_MIN_MOVES_PER_CHAIN = 32
 
 
 class SimulatedAnnealingSearch(SearchAlgorithm):
@@ -19,6 +23,17 @@ class SimulatedAnnealingSearch(SearchAlgorithm):
     from one random node to another — the natural GEN_BLOCK move.  The
     initial temperature is set from the first candidate's value so the
     acceptance probabilities are scale-free.
+
+    Batching: annealing is inherently sequential along a chain (each
+    proposal perturbs the *latest accepted* state), so the population
+    for the vectorized model pass comes from running several chains in
+    lockstep — per step every chain proposes one move from its own
+    state, the proposals are scored in one batch, and each chain applies
+    its own Metropolis test.  The chain count is
+    ``min(batch_size, steps // 32)`` (at least 1): every chain keeps
+    enough moves to travel, a single chain reproduces the sequential
+    walk exactly, and the shared ``steps`` budget still bounds the total
+    number of proposals.
     """
 
     name = "annealing"
@@ -29,8 +44,9 @@ class SimulatedAnnealingSearch(SearchAlgorithm):
         steps: int = 150,
         initial_acceptance: float = 0.5,
         cooling: float = 0.97,
+        batch_size: int = 64,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, batch_size=batch_size)
         self.steps = steps
         self.initial_acceptance = initial_acceptance
         self.cooling = cooling
@@ -47,29 +63,44 @@ class SimulatedAnnealingSearch(SearchAlgorithm):
             # A runtime system anneals away from the distribution it
             # already has; default to the even (Blk) split.
             start = self._normalise(np.ones(self.n_nodes))
-        current = start
-        cur_val = evaluate(current)
-        best, best_val = current, cur_val
+        n_chains = max(
+            min(self.batch_size, self.steps // _MIN_MOVES_PER_CHAIN), 1
+        )
+        start_val = evaluate(start)
+        current = [start] * n_chains
+        cur_val = [start_val] * n_chains
+        best, best_val = start, start_val
         # Temperature such that a 10% uphill move is accepted with the
         # configured initial probability.
-        temperature = -0.1 * cur_val / math.log(self.initial_acceptance)
-        for _step in range(self.steps):
-            src = int(rng.integers(self.n_nodes))
-            dst = int(rng.integers(self.n_nodes))
-            if src == dst:
+        temperature = -0.1 * start_val / math.log(self.initial_acceptance)
+        remaining = self.steps
+        while remaining > 0:
+            idxs = []
+            proposals = []
+            for c in range(n_chains):
+                if remaining <= 0:
+                    break
+                remaining -= 1
+                src = int(rng.integers(self.n_nodes))
+                dst = int(rng.integers(self.n_nodes))
+                if src == dst:
+                    continue
+                max_move = current[c][src] - 1
+                if max_move < 1:
+                    continue
+                chunk = min(int(rng.geometric(8.0 / self.n_rows)), max_move)
+                idxs.append(c)
+                proposals.append(current[c].moved(src, dst, chunk))
+            if not proposals:
                 continue
-            max_move = current[src] - 1
-            if max_move < 1:
-                continue
-            chunk = min(int(rng.geometric(8.0 / self.n_rows)), max_move)
-            candidate = current.moved(src, dst, chunk)
-            cand_val = evaluate(candidate)
-            delta = cand_val - cur_val
-            if delta <= 0 or rng.random() < math.exp(
-                -delta / max(temperature, 1e-12)
-            ):
-                current, cur_val = candidate, cand_val
-                if cur_val < best_val:
-                    best, best_val = current, cur_val
-            temperature *= self.cooling
+            values = evaluate_batch(evaluate, proposals)
+            for c, candidate, cand_val in zip(idxs, proposals, values):
+                delta = cand_val - cur_val[c]
+                if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(temperature, 1e-12)
+                ):
+                    current[c], cur_val[c] = candidate, cand_val
+                    if cand_val < best_val:
+                        best, best_val = candidate, cand_val
+                temperature *= self.cooling
         return best

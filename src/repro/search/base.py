@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ __all__ = [
     "BudgetedEvaluator",
     "SearchResult",
     "SearchAlgorithm",
+    "evaluate_batch",
 ]
 
 
@@ -36,14 +37,27 @@ class EvaluationCache:
         self._cache: Dict[Tuple[int, ...], float] = {}
         self.misses = 0
         self.hits = 0
+        # Running best, maintained on insert: best() is called inside
+        # search loops, so it must not scan the whole store.
+        self._best_key: Optional[Tuple[int, ...]] = None
+        self._best_value = math.inf
+
+    def _record(self, key: Tuple[int, ...], value: float) -> None:
+        """Insert a brand-new evaluation and update the running best.
+        A strict ``<`` keeps the *earliest* inserted key on ties, the
+        same answer a full in-insertion-order scan would give."""
+        self._cache[key] = value
+        self.misses += 1
+        if value < self._best_value:
+            self._best_key = key
+            self._best_value = value
 
     def __call__(self, distribution: GenBlock) -> float:
         key = distribution.counts
         value = self._cache.get(key)
         if value is None:
             value = self._evaluate(distribution)
-            self._cache[key] = value
-            self.misses += 1
+            self._record(key, value)
         else:
             self.hits += 1
         return value
@@ -75,8 +89,7 @@ class EvaluationCache:
         """
         existing = self._cache.get(key)
         if existing is None:
-            self._cache[key] = value
-            self.misses += 1
+            self._record(key, value)
             return
         if not math.isclose(
             existing, value, rel_tol=self.PUT_REL_TOL, abs_tol=1e-12
@@ -88,12 +101,25 @@ class EvaluationCache:
                 "deterministic or two code paths disagree"
             )
 
+    def put_many(
+        self,
+        keys: Sequence[Tuple[int, ...]],
+        values: Sequence[float],
+    ) -> None:
+        """Bulk :meth:`put` for batched evaluations: one call records a
+        whole population's worth of externally computed values, with the
+        same conflict detection per key."""
+        if len(keys) != len(values):
+            raise SearchError("put_many keys and values differ in length")
+        for key, value in zip(keys, values):
+            self.put(key, float(value))
+
     def best(self) -> Optional[Tuple[Tuple[int, ...], float]]:
-        """The best ``(counts, value)`` pair seen, or ``None``."""
-        if not self._cache:
+        """The best ``(counts, value)`` pair seen, or ``None`` — O(1),
+        tracked on insert rather than scanned on demand."""
+        if self._best_key is None:
             return None
-        key = min(self._cache, key=self._cache.get)
-        return key, self._cache[key]
+        return self._best_key, self._best_value
 
     @property
     def evaluations(self) -> int:
@@ -148,31 +174,113 @@ class BudgetedEvaluator:
         if key not in self._cache and self._cache.evaluations >= self._budget:
             raise _BudgetExhausted()
 
-    def __call__(self, distribution: GenBlock) -> float:
-        self._guard(distribution.counts)
-        value = self._cache(distribution)
+    def _feed_trajectory(self, value: float) -> None:
+        """Append the running best after one evaluation — every budgeted
+        path (scalar, report, batch) feeds the trajectory identically."""
         if not self._trajectory or value < self._trajectory[-1]:
             self._trajectory.append(value)
         else:
             self._trajectory.append(self._trajectory[-1])
+
+    def __call__(self, distribution: GenBlock) -> float:
+        self._guard(distribution.counts)
+        value = self._cache(distribution)
+        self._feed_trajectory(value)
         return value
 
     def report(self, distribution: GenBlock) -> PredictionReport:
         """Full prediction report, cached and budget-accounted.
 
         A report for a distribution never seen before counts as one
-        evaluation (it *is* one model run) and respects the budget; a
-        report for an already-evaluated distribution is free budget-wise
-        — the candidate was already paid for.
+        evaluation (it *is* one model run) and respects the budget — and
+        feeds the trajectory, exactly like a scalar evaluation; a report
+        for an already-evaluated distribution is free budget-wise — the
+        candidate was already paid for.
         """
         key = distribution.counts
         rep = self._reports.get(key)
         if rep is None:
+            charged = key not in self._cache
             self._guard(key)
             rep = self._model.predict(distribution)
             self._reports[key] = rep
             self._cache.put(key, rep.total_seconds)
+            if charged:
+                self._feed_trajectory(rep.total_seconds)
         return rep
+
+    def batch(self, distributions: Sequence[GenBlock]) -> List[float]:
+        """Budget- and cache-aware population scoring.
+
+        The candidates are deduplicated — against the shared
+        :class:`EvaluationCache` and within the batch — and only the
+        *distinct misses* are charged to the budget and sent through the
+        model's vectorized :meth:`~repro.core.model.MhetaModel.\
+predict_seconds_batch` in one pass.  Repeats are cache hits, exactly as
+        if the candidates had been evaluated one at a time.
+
+        The budget stays a hard cap: when the distinct misses outrun the
+        remaining budget, the batch is truncated at the boundary — every
+        candidate *before* the first unaffordable miss is evaluated,
+        recorded and fed to the trajectory, then
+        :class:`_BudgetExhausted` is raised, mirroring what the serial
+        loop would have done at that same candidate.
+        """
+        dists = list(distributions)
+        keys = [d.counts for d in dists]
+        remaining = max(self._budget - self._cache.evaluations, 0)
+        first_seen: Dict[Tuple[int, ...], int] = {}
+        to_evaluate: List[GenBlock] = []
+        cut = len(dists)
+        for i, key in enumerate(keys):
+            if key in self._cache or key in first_seen:
+                continue
+            if len(to_evaluate) >= remaining:
+                cut = i
+                break
+            first_seen[key] = i
+            to_evaluate.append(dists[i])
+        if to_evaluate:
+            batch_predict = getattr(
+                self._model, "predict_seconds_batch", None
+            )
+            if batch_predict is not None:
+                values = batch_predict(to_evaluate)
+            else:  # models without a batched path (stubs, wrappers)
+                values = [
+                    self._model.predict_seconds(d) for d in to_evaluate
+                ]
+            self._cache.put_many(
+                [d.counts for d in to_evaluate],
+                [float(v) for v in values],
+            )
+        results: List[float] = []
+        for i in range(cut):
+            key = keys[i]
+            if first_seen.get(key) == i:
+                # The charged miss itself: put_many already counted it.
+                value = self._cache.value(key)
+            else:
+                value = self._cache(dists[i])  # hit accounting
+            self._feed_trajectory(value)
+            results.append(value)
+        if cut < len(dists):
+            raise _BudgetExhausted()
+        return results
+
+
+def evaluate_batch(
+    evaluate: Callable[[GenBlock], float],
+    candidates: Sequence[GenBlock],
+) -> List[float]:
+    """Score ``candidates`` through ``evaluate.batch`` when available
+    (the :class:`BudgetedEvaluator` population path — dedup, bulk model
+    evaluation, budget truncation), falling back to per-candidate calls
+    for bare callables (unit-test stubs, custom drivers)."""
+    batch = getattr(evaluate, "batch", None)
+    if batch is not None:
+        return batch(candidates)
+    return [evaluate(d) for d in candidates]
 
 
 class SearchAlgorithm(abc.ABC):
@@ -182,16 +290,29 @@ class SearchAlgorithm(abc.ABC):
     Subclasses implement :meth:`_run` against the shared evaluation
     cache.  Every node always keeps at least one row (the paper's system
     uses every processor).
+
+    ``batch_size`` bounds the candidate populations a strategy scores
+    per :func:`evaluate_batch` call (proposal pools, sample chunks,
+    enumeration chunks); strategies whose population has a natural size
+    — a GA generation, a GBS leg grid — ignore it.
     """
 
     name = "search"
 
-    def __init__(self, model: MhetaModel, seed_label: str = "") -> None:
+    def __init__(
+        self,
+        model: MhetaModel,
+        seed_label: str = "",
+        batch_size: int = 64,
+    ) -> None:
         self.model = model
         self.n_rows = model.program.n_rows
         self.n_nodes = model.n_nodes
         if self.n_rows < self.n_nodes:
             raise SearchError("fewer rows than nodes")
+        if batch_size < 1:
+            raise SearchError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
         self._seed_label = seed_label or self.name
 
     # -- helpers shared by concrete searches ---------------------------------

@@ -8,12 +8,17 @@ in the lowest execution time"), and (2) it needs few evaluations because
 each is cheap.
 
 Strategy: along every leg of the anchor path Blk -> I-C -> I-C/Bal ->
-Bal, binary-search the interpolation parameter — evaluate the midpoint
-of the current interval and its two neighbours, recurse into the half
-whose inner sample is smaller (valid under the near-unimodality the
-execution time exhibits along each leg), then finish with a
+Bal, score the leg's full interpolation grid (spacing ``resolution``)
+in one batched evaluation — the population goes through
+``evaluate.batch``, which deduplicates the rounded GEN_BLOCKs (grid
+neighbours collide after integer rounding, legs share their anchor
+endpoints) and feeds the distinct misses to the model's vectorized
+``predict_seconds_batch`` in a single pass — then finish with a
 row-exchange hill climb between the predicted bottleneck node and the
-node with the most slack.
+node with the most slack.  Scoring the whole grid costs the same batch
+the old two-probe bisection spread over many rounds of Python-level
+calls, needs no unimodality assumption, and cannot miss a dip between
+probe points.
 """
 
 from __future__ import annotations
@@ -27,13 +32,13 @@ from repro.core.model import MhetaModel
 from repro.distribution.factories import balanced, block, in_core, in_core_balanced
 from repro.distribution.genblock import GenBlock
 from repro.distribution.spectrum import has_memory_pressure, interpolate
-from repro.search.base import SearchAlgorithm
+from repro.search.base import SearchAlgorithm, evaluate_batch
 
 __all__ = ["GeneralizedBinarySearch"]
 
 
 class GeneralizedBinarySearch(SearchAlgorithm):
-    """Binary search along the anchor legs plus a local hill climb."""
+    """Batched grid search along the anchor legs plus a hill climb."""
 
     name = "gbs"
 
@@ -43,8 +48,9 @@ class GeneralizedBinarySearch(SearchAlgorithm):
         cluster: ClusterSpec,
         resolution: float = 1.0 / 64.0,
         hill_climb_steps: int = 24,
+        batch_size: int = 64,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, batch_size=batch_size)
         self.cluster = cluster
         self.resolution = resolution
         self.hill_climb_steps = hill_climb_steps
@@ -70,28 +76,14 @@ class GeneralizedBinarySearch(SearchAlgorithm):
         a: GenBlock,
         b: GenBlock,
     ) -> Tuple[GenBlock, float]:
-        """Binary search the interpolation parameter on one leg."""
-        lo, hi = 0.0, 1.0
-        best_dist = a
-        best_val = evaluate(a)
-        vb = evaluate(b)
-        if vb < best_val:
-            best_dist, best_val = b, vb
-        while hi - lo > self.resolution:
-            mid = 0.5 * (lo + hi)
-            quarter = 0.25 * (hi - lo)
-            left = interpolate(a, b, mid - quarter)
-            right = interpolate(a, b, mid + quarter)
-            vl, vr = evaluate(left), evaluate(right)
-            if vl < best_val:
-                best_dist, best_val = left, vl
-            if vr < best_val:
-                best_dist, best_val = right, vr
-            if vl <= vr:
-                hi = mid
-            else:
-                lo = mid
-        return best_dist, best_val
+        """Score the leg's full interpolation grid in one batched pass."""
+        steps = max(int(round(1.0 / self.resolution)), 1)
+        grid = [a]
+        grid.extend(interpolate(a, b, k / steps) for k in range(1, steps))
+        grid.append(b)
+        values = evaluate_batch(evaluate, grid)
+        best_i = min(range(len(values)), key=values.__getitem__)
+        return grid[best_i], values[best_i]
 
     def _hill_climb(
         self,

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.core.model import MhetaModel
 from repro.distribution.genblock import GenBlock
-from repro.search.base import SearchAlgorithm
+from repro.search.base import SearchAlgorithm, evaluate_batch
 
 __all__ = ["GeneticSearch"]
 
@@ -19,6 +19,8 @@ class GeneticSearch(SearchAlgorithm):
     Individuals are fractional share vectors (normalised to the row
     total on evaluation).  Tournament selection, blend crossover and
     Dirichlet-jitter mutation; the best individual always survives.
+    Each generation is scored as one batch — the population is the
+    natural batch size.
     """
 
     name = "genetic"
@@ -50,16 +52,13 @@ class GeneticSearch(SearchAlgorithm):
             pop[0] = start.fractions
         pop[1 % len(pop)] = np.ones(self.n_nodes) / self.n_nodes  # Blk seed
 
-        def fitness(shares: np.ndarray) -> Tuple[float, GenBlock]:
-            dist = self._normalise(shares * self.n_rows)
-            return evaluate(dist), dist
-
         best_dist: Optional[GenBlock] = None
         best_val = float("inf")
         for _generation in range(self.generations):
+            dists = [self._normalise(shares * self.n_rows) for shares in pop]
+            values = evaluate_batch(evaluate, dists)
             scored = []
-            for shares in pop:
-                val, dist = fitness(shares)
+            for shares, dist, val in zip(pop, dists, values):
                 scored.append((val, shares))
                 if val < best_val:
                     best_val, best_dist = val, dist

@@ -6,18 +6,25 @@ from typing import Callable, Optional
 
 from repro.core.model import MhetaModel
 from repro.distribution.genblock import GenBlock
-from repro.search.base import SearchAlgorithm
+from repro.search.base import SearchAlgorithm, evaluate_batch
 
 __all__ = ["RandomSearch"]
 
 
 class RandomSearch(SearchAlgorithm):
-    """Sample Dirichlet share vectors uniformly; keep the best."""
+    """Sample Dirichlet share vectors uniformly; keep the best.
+
+    All samples are drawn up front (evaluation never consumes the RNG,
+    so the candidate sequence is identical to the sequential walk) and
+    scored in ``batch_size`` chunks.
+    """
 
     name = "random"
 
-    def __init__(self, model: MhetaModel, samples: int = 100) -> None:
-        super().__init__(model)
+    def __init__(
+        self, model: MhetaModel, samples: int = 100, batch_size: int = 64
+    ) -> None:
+        super().__init__(model, batch_size=batch_size)
         self.samples = samples
 
     def _run(
@@ -28,11 +35,12 @@ class RandomSearch(SearchAlgorithm):
         rng = self._rng()
         best: Optional[GenBlock] = start
         best_val = evaluate(start) if start is not None else float("inf")
-        for _sample in range(self.samples):
-            candidate = self._random_distribution(rng)
-            value = evaluate(candidate)
-            if value < best_val:
-                best, best_val = candidate, value
+        candidates = [self._random_distribution(rng) for _ in range(self.samples)]
+        for lo in range(0, len(candidates), self.batch_size):
+            chunk = candidates[lo : lo + self.batch_size]
+            for candidate, value in zip(chunk, evaluate_batch(evaluate, chunk)):
+                if value < best_val:
+                    best, best_val = candidate, value
         if best is None:  # pragma: no cover - samples >= 1 always evaluates
             best = self._random_distribution(rng)
         return best

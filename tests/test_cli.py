@@ -71,6 +71,18 @@ class TestCommands:
         )
         assert "improvement" in out
 
+    def test_search_batch_size_does_not_change_answer(self, capsys):
+        base = run_cli(
+            capsys,
+            "search", "rna", "--config", "DC", "--budget", "40", *SCALE,
+        )
+        chunked = run_cli(
+            capsys,
+            "search", "rna", "--config", "DC", "--budget", "40",
+            "--batch-size", "4", *SCALE,
+        )
+        assert chunked == base
+
     def test_search_all_with_verify(self, capsys):
         out = run_cli(
             capsys,

@@ -193,6 +193,12 @@ class _CountingModel:
         self.scalar_calls[key] = self.scalar_calls.get(key, 0) + 1
         return self._model.predict_seconds(distribution, iterations)
 
+    def predict_seconds_batch(self, distributions, iterations=None):
+        for distribution in distributions:
+            key = distribution.counts
+            self.scalar_calls[key] = self.scalar_calls.get(key, 0) + 1
+        return self._model.predict_seconds_batch(distributions, iterations)
+
     def predict(self, distribution, iterations=None):
         key = distribution.counts
         self.report_calls[key] = self.report_calls.get(key, 0) + 1
@@ -246,6 +252,170 @@ class TestSearchValidation:
         result = RandomSearch(model, samples=5).search(budget=10)
         text = str(result)
         assert "random" in text and "evaluations" in text
+
+
+class TestBatchedEvaluation:
+    """``BudgetedEvaluator.batch``: dedup, accounting, hard budget."""
+
+    def _evaluator(self, model, budget):
+        cache = EvaluationCache(model.predict_seconds)
+        trajectory = []
+        from repro.search.base import BudgetedEvaluator
+
+        return BudgetedEvaluator(model, cache, budget, trajectory), cache, trajectory
+
+    def test_batch_matches_serial_values(self, search_setup):
+        cluster, program, model = search_setup
+        evaluator, cache, _ = self._evaluator(model, budget=10)
+        cands = [block(cluster, program.n_rows), balanced(cluster, program.n_rows)]
+        values = evaluator.batch(cands)
+        assert values == [model.predict_seconds(d) for d in cands]
+
+    def test_batch_dedup_within_batch(self, search_setup):
+        cluster, program, model = search_setup
+        evaluator, cache, _ = self._evaluator(model, budget=10)
+        d = block(cluster, program.n_rows)
+        values = evaluator.batch([d, d, d])
+        assert values[0] == values[1] == values[2]
+        # One charged miss, two in-batch repeats served as hits.
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_batch_dedup_against_cache(self, search_setup):
+        cluster, program, model = search_setup
+        evaluator, cache, _ = self._evaluator(model, budget=10)
+        d = block(cluster, program.n_rows)
+        evaluator(d)  # serial evaluation seeds the cache
+        assert cache.misses == 1 and cache.hits == 0
+        values = evaluator.batch([d, balanced(cluster, program.n_rows)])
+        assert len(values) == 2
+        # The pre-cached candidate is a hit, the new one a miss.
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    def test_batch_truncates_at_budget_boundary(self, search_setup):
+        from repro.search.base import _BudgetExhausted
+
+        cluster, program, model = search_setup
+        evaluator, cache, trajectory = self._evaluator(model, budget=2)
+        blk = block(cluster, program.n_rows)
+        bal = balanced(cluster, program.n_rows)
+        third = blk.moved(0, 1, 5)
+        with pytest.raises(_BudgetExhausted):
+            evaluator.batch([blk, bal, third])
+        # Exactly the affordable prefix was evaluated and recorded.
+        assert cache.evaluations == 2
+        assert blk.counts in cache and bal.counts in cache
+        assert third.counts not in cache
+        assert len(trajectory) == 2
+
+    def test_batch_repeats_before_cut_still_served(self, search_setup):
+        """A repeat of an affordable candidate costs nothing, so it is
+        served even when a later distinct miss exhausts the budget."""
+        from repro.search.base import _BudgetExhausted
+
+        cluster, program, model = search_setup
+        evaluator, cache, trajectory = self._evaluator(model, budget=1)
+        blk = block(cluster, program.n_rows)
+        bal = balanced(cluster, program.n_rows)
+        with pytest.raises(_BudgetExhausted):
+            evaluator.batch([blk, blk, bal])
+        assert cache.evaluations == 1
+        assert cache.hits == 1  # the in-batch repeat
+        assert len(trajectory) == 2
+
+    def test_batch_feeds_trajectory_running_best(self, search_setup):
+        cluster, program, model = search_setup
+        evaluator, _, trajectory = self._evaluator(model, budget=10)
+        cands = [block(cluster, program.n_rows), balanced(cluster, program.n_rows)]
+        evaluator.batch(cands)
+        assert len(trajectory) == 2
+        assert trajectory[1] <= trajectory[0]
+
+    def test_batch_falls_back_without_vectorized_model(self, search_setup):
+        """Models lacking ``predict_seconds_batch`` loop per candidate."""
+        cluster, program, model = search_setup
+
+        class ScalarOnly:
+            def __init__(self, inner):
+                self._inner = inner
+                self.calls = 0
+
+            def predict_seconds(self, distribution, iterations=None):
+                self.calls += 1
+                return self._inner.predict_seconds(distribution, iterations)
+
+        scalar_only = ScalarOnly(model)
+        evaluator, cache, _ = self._evaluator(scalar_only, budget=10)
+        cands = [block(cluster, program.n_rows), balanced(cluster, program.n_rows)]
+        values = evaluator.batch(cands)
+        assert scalar_only.calls == 2
+        assert values == [model.predict_seconds(d) for d in cands]
+
+    def test_evaluate_batch_helper_with_bare_callable(self, search_setup):
+        from repro.search import evaluate_batch
+
+        cluster, program, model = search_setup
+        cands = [block(cluster, program.n_rows), balanced(cluster, program.n_rows)]
+        values = evaluate_batch(model.predict_seconds, cands)
+        assert values == [model.predict_seconds(d) for d in cands]
+
+    def test_batch_size_validation(self, search_setup):
+        cluster, program, model = search_setup
+        with pytest.raises(SearchError):
+            RandomSearch(model, batch_size=0)
+
+
+class TestReportTrajectory:
+    def test_report_on_new_distribution_feeds_trajectory(self, search_setup):
+        """Regression: a budget-charged report used to skip the
+        trajectory, desynchronising it from the evaluation count."""
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        trajectory = []
+        evaluator = BudgetedEvaluator(model, cache, budget=5, trajectory=trajectory)
+        evaluator.report(block(cluster, program.n_rows))
+        assert len(trajectory) == 1
+        # A repeated report is free and adds nothing.
+        evaluator.report(block(cluster, program.n_rows))
+        assert len(trajectory) == 1
+        # A report on an already-evaluated distribution adds nothing.
+        bal = balanced(cluster, program.n_rows)
+        evaluator(bal)
+        assert len(trajectory) == 2
+        evaluator.report(bal)
+        assert len(trajectory) == 2
+
+
+class TestRunningBest:
+    def test_best_is_tracked_on_insert(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        assert cache.best() is None
+        cache.put((1, 2), 2.0)
+        cache.put((3, 4), 1.0)
+        cache.put((5, 6), 3.0)
+        assert cache.best() == ((3, 4), 1.0)
+
+    def test_best_keeps_earliest_key_on_tie(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        cache.put((1, 2), 1.0)
+        cache.put((3, 4), 1.0)
+        assert cache.best() == ((1, 2), 1.0)
+
+    def test_put_many_records_all(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        cache.put_many([(1, 2), (3, 4)], [2.0, 1.5])
+        assert cache.evaluations == 2
+        assert cache.best() == ((3, 4), 1.5)
+
+    def test_put_many_length_mismatch_raises(self, search_setup):
+        cluster, program, model = search_setup
+        cache = EvaluationCache(model.predict_seconds)
+        with pytest.raises(SearchError):
+            cache.put_many([(1, 2)], [1.0, 2.0])
 
 
 class TestEvaluationCachePut:
