@@ -68,7 +68,7 @@ from repro.distribution import (
     SpectrumPoint,
 )
 from repro.placement import MemoryPlan, VariablePlacement, plan_memory
-from repro.sim import ClusterEmulator, PerturbationConfig, RunResult
+from repro.sim import ClusterEmulator, PerturbationConfig, RunResult, emulate
 from repro.instrument import (
     MhetaInputs,
     Microbenchmarks,
@@ -148,6 +148,7 @@ __all__ = [
     "ClusterEmulator",
     "PerturbationConfig",
     "RunResult",
+    "emulate",
     # instrument
     "MhetaInputs",
     "Microbenchmarks",

@@ -87,6 +87,13 @@ def _add_common(parser: argparse.ArgumentParser, config: bool = True) -> None:
         "--scale", type=float, default=0.1,
         help="problem-size scale (1.0 = paper scale; default 0.1)",
     )
+    parser.add_argument(
+        "--no-fast-forward", action="store_true",
+        help="disable the emulator's steady-state cycle fast-forward: "
+        "every run is simulated event by event (the fast path is "
+        "equivalent to <= 1e-9 relative and falls back automatically "
+        "for perturbed or non-converging runs)",
+    )
     if config:
         parser.add_argument(
             "--config", default="HY1", help=f"configuration {CONFIGS}"
@@ -303,7 +310,9 @@ def _cmd_predict(args) -> str:
     report = model.predict(distribution)
     out = [report.describe()]
     if args.verify:
-        actual = ClusterEmulator(cluster, program).run(distribution)
+        from repro.sim import emulate
+
+        actual = emulate(cluster, program, distribution)
         error = (
             abs(report.total_seconds - actual.total_seconds)
             / min(report.total_seconds, actual.total_seconds)
@@ -363,6 +372,10 @@ def _cmd_adaptive(args) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_fast_forward", False):
+        from repro.sim import set_fast_forward_default
+
+        set_fast_forward_default(False)
     if args.command == "table1":
         print(table1())
     elif args.command == "sweep":

@@ -33,7 +33,7 @@ from repro.instrument.collect import collect_inputs
 from repro.parallel.cache import SweepCache
 from repro.parallel.runner import ParallelRunner
 from repro.program.structure import ProgramStructure
-from repro.sim.executor import ClusterEmulator
+from repro.sim.executor import emulate
 from repro.sim.perturbation import PerturbationConfig
 
 __all__ = ["PointComparison", "SpectrumRun", "build_model", "run_spectrum"]
@@ -147,10 +147,12 @@ def _emulate_task(
     spec: Tuple[ClusterSpec, ProgramStructure, Optional[PerturbationConfig], Tuple[int, ...]]
 ) -> float:
     """Process-pool task: one independent emulator run (module-level so
-    it pickles)."""
+    it pickles).  Goes through :func:`repro.sim.emulate`, so identical
+    configurations across panels hit the process-wide run cache."""
     cluster, program, perturbation, counts = spec
-    emulator = ClusterEmulator(cluster, program, perturbation)
-    return emulator.run(GenBlock(counts)).total_seconds
+    return emulate(
+        cluster, program, GenBlock(counts), perturbation=perturbation
+    ).total_seconds
 
 
 def run_spectrum(

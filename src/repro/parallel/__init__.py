@@ -26,7 +26,12 @@ execution by construction, and the equivalence is regression-tested.
 """
 
 from repro.parallel.runner import ParallelRunner, resolve_jobs, split_shards
-from repro.parallel.cache import SweepCache, content_key
+from repro.parallel.cache import (
+    RunCache,
+    SweepCache,
+    content_key,
+    default_run_cache,
+)
 from repro.parallel.predict import predict_seconds_sharded
 from repro.parallel.verify import verify_distributions
 
@@ -34,8 +39,10 @@ __all__ = [
     "ParallelRunner",
     "resolve_jobs",
     "split_shards",
+    "RunCache",
     "SweepCache",
     "content_key",
+    "default_run_cache",
     "predict_seconds_sharded",
     "verify_distributions",
 ]

@@ -23,11 +23,12 @@ __all__ = ["verify_distributions"]
 def _verify_task(
     spec: Tuple[ClusterSpec, ProgramStructure, Optional[PerturbationConfig], Tuple[int, ...]]
 ) -> float:
-    from repro.sim.executor import ClusterEmulator
+    from repro.sim.executor import emulate
 
     cluster, program, perturbation, counts = spec
-    emulator = ClusterEmulator(cluster, program, perturbation)
-    return emulator.run(GenBlock(counts)).total_seconds
+    return emulate(
+        cluster, program, GenBlock(counts), perturbation=perturbation
+    ).total_seconds
 
 
 def verify_distributions(

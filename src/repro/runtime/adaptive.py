@@ -33,7 +33,7 @@ from repro.program.structure import ProgramStructure
 from repro.runtime.redistribution import RedistributionModel
 from repro.search.base import SearchAlgorithm
 from repro.search.gbs import GeneralizedBinarySearch
-from repro.sim.executor import ClusterEmulator
+from repro.sim.executor import emulate
 from repro.sim.perturbation import PerturbationConfig
 from repro.util.units import seconds_to_human
 
@@ -112,11 +112,22 @@ class AdaptiveRuntime:
         program = self.program
         if start is None:
             start = block(self.cluster, program.n_rows)
-        emulator = ClusterEmulator(self.cluster, program, self.perturbation)
+
+        # Every emulated phase goes through the shared content-keyed
+        # run cache, so repeated adaptive experiments (benchmark
+        # panels, variant comparisons) stop re-simulating identical
+        # configurations.
 
         # 1. Instrumented first iteration (slower than a plain one: the
         # forced I/O and blocking prefetches are part of the price).
-        instrumented_run = emulator.run(start, instrumented=True, iterations=1)
+        instrumented_run = emulate(
+            self.cluster,
+            program,
+            start,
+            perturbation=self.perturbation,
+            instrumented=True,
+            iterations=1,
+        )
         inputs = collect_inputs(
             self.cluster,
             program,
@@ -155,13 +166,21 @@ class AdaptiveRuntime:
 
         # 4. Remaining iterations under the chosen distribution.
         remaining_seconds = (
-            emulator.run(chosen, iterations=remaining).total_seconds
+            emulate(
+                self.cluster,
+                program,
+                chosen,
+                perturbation=self.perturbation,
+                iterations=remaining,
+            ).total_seconds
             if remaining
             else 0.0
         )
 
         # Baseline: the whole job statically on the start distribution.
-        static_seconds = emulator.run(start).total_seconds
+        static_seconds = emulate(
+            self.cluster, program, start, perturbation=self.perturbation
+        ).total_seconds
 
         return AdaptiveReport(
             start_distribution=start,

@@ -25,7 +25,14 @@ from repro.sim.engine import Engine, Delay, Send, Recv, Spawn
 from repro.sim.disk import DiskModel
 from repro.sim.memory import MemoryPlan, VariablePlacement, plan_memory
 from repro.sim.perturbation import PerturbationConfig, PerturbationModel
-from repro.sim.executor import ClusterEmulator, RunResult
+from repro.sim.steady import FastForwardPolicy, supports_fast_forward
+from repro.sim.executor import (
+    ClusterEmulator,
+    RunResult,
+    emulate,
+    fast_forward_default,
+    set_fast_forward_default,
+)
 from repro.sim.analysis import NodeBreakdown, RunAnalysis, analyse_run
 
 __all__ = [
@@ -40,8 +47,13 @@ __all__ = [
     "plan_memory",
     "PerturbationConfig",
     "PerturbationModel",
+    "FastForwardPolicy",
+    "supports_fast_forward",
     "ClusterEmulator",
     "RunResult",
+    "emulate",
+    "fast_forward_default",
+    "set_fast_forward_default",
     "NodeBreakdown",
     "RunAnalysis",
     "analyse_run",

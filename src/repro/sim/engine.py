@@ -13,15 +13,21 @@ Processes are Python generators that ``yield`` request objects:
 Every resume sends the process its current simulation time, so helper
 sub-generators can track ``now`` without global state.  The engine is
 deterministic: ties in the event heap break by insertion sequence.
+
+The dispatch loop is the emulator's innermost hot path (one call per
+yielded request), so it avoids generic-but-slow constructs: requests
+dispatch through a type-keyed table instead of an ``isinstance`` chain,
+generator startup is tracked with a per-pid flag instead of
+``inspect.getgeneratorstate``, and the request/record dataclasses use
+``slots``.
 """
 
 from __future__ import annotations
 
 import heapq
-import inspect
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import SimulationError
 
@@ -30,7 +36,7 @@ __all__ = ["Delay", "Send", "Recv", "Spawn", "Engine"]
 Process = Generator[Any, float, None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delay:
     """Advance the yielding process by ``seconds`` of simulated time."""
 
@@ -41,7 +47,7 @@ class Delay:
             raise SimulationError(f"invalid delay: {self.seconds}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Send:
     """Deposit a message.
 
@@ -60,7 +66,7 @@ class Send:
             raise SimulationError(f"negative transfer time: {self.transfer}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Recv:
     """Block until a message from ``src`` with ``tag`` is delivered."""
 
@@ -68,19 +74,48 @@ class Recv:
     tag: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Spawn:
     """Start ``process`` as a sibling at the current time."""
 
     process: Process
 
 
-@dataclass
+@dataclass(slots=True)
 class _Mailbox:
     """Messages delivered (or in flight) for one (dst, src, tag) channel."""
 
     queue: Deque[Tuple[float, Any]] = field(default_factory=deque)
     waiter: Optional[int] = None  # pid blocked on this channel
+
+
+#: Type-keyed request dispatch: exact request classes map to small
+#: integer codes checked in the hot loop.  Subclasses are admitted
+#: lazily through :func:`_register_request_type` so the common case is
+#: one dict lookup.
+_DELAY, _SEND, _RECV, _SPAWN = 0, 1, 2, 3
+_REQUEST_KIND: Dict[type, int] = {
+    Delay: _DELAY,
+    Send: _SEND,
+    Recv: _RECV,
+    Spawn: _SPAWN,
+}
+
+
+def _register_request_type(request: Any) -> Optional[int]:
+    """Slow path for request types not yet in the dispatch table:
+    subclasses of the four request kinds are registered under their
+    concrete type; anything else returns ``None``."""
+    for cls, kind in (
+        (Delay, _DELAY),
+        (Send, _SEND),
+        (Recv, _RECV),
+        (Spawn, _SPAWN),
+    ):
+        if isinstance(request, cls):
+            _REQUEST_KIND[type(request)] = kind
+            return kind
+    return None
 
 
 class Engine:
@@ -100,6 +135,7 @@ class Engine:
         self._mail: Dict[Tuple[int, int, str], _Mailbox] = {}
         self._pid_node: Dict[int, int] = {}
         self._finish_times: Dict[int, float] = {}
+        self._started: Set[int] = set()
         self._next_pid = 0
         self._trace_hook = trace_hook
         self.now = 0.0
@@ -140,15 +176,20 @@ class Engine:
         """Dispatch until every process finishes.  Returns the latest
         finish time.  Raises :class:`SimulationError` on deadlock (blocked
         receivers with an empty event heap)."""
-        while self._heap:
-            time, _, pid, value = heapq.heappop(self._heap)
+        heap = self._heap
+        procs = self._procs
+        pop = heapq.heappop
+        advance = self._advance
+        while heap:
+            time, _, pid, value = pop(heap)
             if time < self.now - 1e-12:
                 raise SimulationError("time went backwards (engine bug)")
-            self.now = max(self.now, time)
-            proc = self._procs.get(pid)
+            if time > self.now:
+                self.now = time
+            proc = procs.get(pid)
             if proc is None:
                 continue
-            self._advance(pid, proc, time, value)
+            advance(pid, proc, time, value)
         blocked = [
             key for key, box in self._mail.items() if box.waiter is not None
         ]
@@ -165,27 +206,39 @@ class Engine:
         """Resume ``proc`` at ``time``, dispatching requests until it
         blocks or finishes."""
         send_value: Any = time if value is None else value
-        started = inspect.getgeneratorstate(proc) is not inspect.GEN_CREATED
+        started = self._started
+        first = pid not in started
+        if first:
+            started.add(pid)
+        trace_hook = self._trace_hook
+        kinds = _REQUEST_KIND
         while True:
             try:
-                if not started:
+                if first:
                     request = next(proc)
-                    started = True
+                    first = False
                 else:
                     request = proc.send(send_value)
             except StopIteration:
                 del self._procs[pid]
+                started.discard(pid)
                 self._finish_times[pid] = time
                 return
-            if self._trace_hook is not None:
-                self._trace_hook(time, pid, request)
-            if isinstance(request, Delay):
-                if request.seconds == 0.0:
+            if trace_hook is not None:
+                trace_hook(time, pid, request)
+            kind = kinds.get(request.__class__)
+            if kind is None:
+                kind = _register_request_type(request)
+                if kind is None:
+                    raise SimulationError(f"unknown request: {request!r}")
+            if kind == _DELAY:
+                seconds = request.seconds
+                if seconds == 0.0:
                     send_value = time
                     continue
-                self._push(time + request.seconds, pid)
+                self._push(time + seconds, pid)
                 return
-            if isinstance(request, Send):
+            if kind == _SEND:
                 node = self._pid_node[pid]
                 box = self._box(request.dst, node, request.tag)
                 deliver = time + request.transfer
@@ -199,7 +252,7 @@ class Engine:
                     )
                 send_value = time
                 continue
-            if isinstance(request, Recv):
+            if kind == _RECV:
                 node = self._pid_node[pid]
                 box = self._box(node, request.src, request.tag)
                 if box.queue:
@@ -218,14 +271,13 @@ class Engine:
                     )
                 box.waiter = pid
                 return
-            if isinstance(request, Spawn):
-                self.add_process(request.process, self._pid_node[pid], time)
-                send_value = time
-                continue
-            raise SimulationError(f"unknown request: {request!r}")
+            # kind == _SPAWN
+            self.add_process(request.process, self._pid_node[pid], time)
+            send_value = time
+            continue
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _RecvResult:
     """Value sent into a process resuming from a Recv: the current time
     plus the message payload.  Exposed via float conversion so helpers

@@ -12,8 +12,9 @@ cluster: its output is the "Actual" series of Figures 9-11.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.cluster.cluster import ClusterSpec
 from repro.distribution.genblock import GenBlock
@@ -26,12 +27,42 @@ from repro.sim.disk import DiskModel
 from repro.sim.engine import Delay, Engine, Recv, Send
 from repro.sim.memory import emulator_plan, plan_memory
 from repro.sim.perturbation import PerturbationConfig, PerturbationModel
+from repro.sim.steady import (
+    FastForwardPolicy,
+    extrapolate_ends,
+    steady_deltas,
+    supports_fast_forward,
+)
 from repro.sim.trace import EventRecord, Observer, Op
 
-__all__ = ["ClusterEmulator", "RunResult"]
+__all__ = [
+    "ClusterEmulator",
+    "RunResult",
+    "emulate",
+    "set_fast_forward_default",
+    "fast_forward_default",
+]
 
 #: CPU cost of issuing one asynchronous read (system-call overhead).
 PREFETCH_ISSUE_OVERHEAD = 20e-6
+
+#: Process-wide default for ``ClusterEmulator.run(fast_forward=None)``.
+#: The CLI's ``--no-fast-forward`` flips it off for a whole invocation.
+_FAST_FORWARD_DEFAULT = True
+
+
+def set_fast_forward_default(enabled: bool) -> bool:
+    """Set the process-wide fast-forward default; returns the previous
+    value (so tests can restore it)."""
+    global _FAST_FORWARD_DEFAULT
+    previous = _FAST_FORWARD_DEFAULT
+    _FAST_FORWARD_DEFAULT = bool(enabled)
+    return previous
+
+
+def fast_forward_default() -> bool:
+    """The current process-wide fast-forward default."""
+    return _FAST_FORWARD_DEFAULT
 
 
 def _tile_bounds(start: int, stop: int, tiles: int, tile: int) -> Tuple[int, int]:
@@ -51,6 +82,9 @@ class RunResult:
     iteration_ends: List[List[float]]  #: [node][iteration] completion time
     distribution: GenBlock
     iterations: int
+    #: True when the tail of the run was extrapolated from a detected
+    #: steady-state cycle instead of simulated event by event.
+    fast_forwarded: bool = False
 
     @property
     def mean_iteration_seconds(self) -> float:
@@ -67,6 +101,13 @@ class RunResult:
         return outs
 
 
+def _observe_noop(*_args, **_kwargs) -> None:
+    """Stand-in for :meth:`_NodeCtx._observe` on unobserved runs: a
+    plain function, so the hot path pays one no-op call instead of an
+    attribute check plus record construction."""
+    return None
+
+
 class _NodeCtx:
     """Per-node mutable execution state and generator helpers."""
 
@@ -78,6 +119,7 @@ class _NodeCtx:
         "plan",
         "now",
         "observer",
+        "observe",
         "perturb",
         "replicated_bytes",
         "iteration_ends",
@@ -91,29 +133,29 @@ class _NodeCtx:
         self.plan: MemoryPlan = plan
         self.now = 0.0
         self.observer: Optional[Observer] = observer
+        self.observe = self._observe if observer is not None else _observe_noop
         self.perturb: PerturbationModel = perturb
         self.replicated_bytes = replicated
         self.iteration_ends: List[float] = []
 
     # -- tracing -----------------------------------------------------------
 
-    def observe(self, op, it, section, tile, stage, variable, start, nbytes=0.0, rows=0):
-        if self.observer is not None:
-            self.observer(
-                EventRecord(
-                    op=op,
-                    node=self.rank,
-                    iteration=it,
-                    section=section,
-                    tile=tile,
-                    stage=stage,
-                    variable=variable,
-                    start=start,
-                    end=self.now,
-                    nbytes=nbytes,
-                    rows=rows,
-                )
+    def _observe(self, op, it, section, tile, stage, variable, start, nbytes=0.0, rows=0):
+        self.observer(
+            EventRecord(
+                op=op,
+                node=self.rank,
+                iteration=it,
+                section=section,
+                tile=tile,
+                stage=stage,
+                variable=variable,
+                start=start,
+                end=self.now,
+                nbytes=nbytes,
+                rows=rows,
             )
+        )
 
     # -- primitive generators -------------------------------------------------
 
@@ -176,11 +218,17 @@ class ClusterEmulator:
         cluster: ClusterSpec,
         program: ProgramStructure,
         perturbation: Optional[PerturbationConfig] = None,
+        fast_forward_policy: Optional[FastForwardPolicy] = None,
     ) -> None:
         self.cluster = cluster
         self.program = program
         self.perturbation = (
             perturbation if perturbation is not None else PerturbationConfig()
+        )
+        self.fast_forward_policy = (
+            fast_forward_policy
+            if fast_forward_policy is not None
+            else FastForwardPolicy()
         )
 
     # -- public API ------------------------------------------------------------
@@ -192,6 +240,7 @@ class ClusterEmulator:
         observer: Optional[Observer] = None,
         instrumented: bool = False,
         iterations: Optional[int] = None,
+        fast_forward: Optional[bool] = None,
     ) -> RunResult:
         """Run the program and return timing.
 
@@ -201,6 +250,14 @@ class ClusterEmulator:
         reads with no-op waits (paper Figure 5).  ``iterations``
         overrides the program's iteration count (the instrumented run
         uses 1).
+
+        ``fast_forward`` controls the steady-state cycle fast path
+        (:mod:`repro.sim.steady`): ``None`` follows the process-wide
+        default (on; see :func:`set_fast_forward_default`), ``False``
+        forces full event-by-event simulation.  The fast path engages
+        only for unobserved, deterministic, iteration-invariant runs
+        whose probe converges — everything else falls back to full
+        simulation automatically.
         """
         if distribution.n_nodes != self.cluster.n_nodes:
             raise SimulationError(
@@ -214,6 +271,39 @@ class ClusterEmulator:
             )
         n_iter = iterations if iterations is not None else self.program.iterations
 
+        use_fast = _FAST_FORWARD_DEFAULT if fast_forward is None else fast_forward
+        policy = self.fast_forward_policy
+        if (
+            use_fast
+            and n_iter > policy.probe_iterations
+            and supports_fast_forward(
+                self.program,
+                self.perturbation,
+                observer=observer,
+                instrumented=instrumented,
+            )
+        ):
+            # Probe the first few iterations; the probe's prefix is
+            # identical to the full run's (messages never cross
+            # iteration boundaries and no RNG is drawn), so on
+            # convergence the tail extrapolates and on failure we
+            # simply simulate from scratch.
+            probe = self._simulate(
+                distribution, observer, instrumented, policy.probe_iterations
+            )
+            deltas = steady_deltas(probe.iteration_ends, policy)
+            if deltas is not None:
+                return self._fast_forward(probe, deltas, n_iter)
+        return self._simulate(distribution, observer, instrumented, n_iter)
+
+    def _simulate(
+        self,
+        distribution: GenBlock,
+        observer: Optional[Observer],
+        instrumented: bool,
+        n_iter: int,
+    ) -> RunResult:
+        """Full event-by-event simulation of ``n_iter`` iterations."""
         engine = Engine()
         contexts = self._make_contexts(distribution, observer, instrumented)
         for ctx in contexts:
@@ -231,6 +321,24 @@ class ClusterEmulator:
             iteration_ends=[list(ctx.iteration_ends) for ctx in contexts],
             distribution=distribution,
             iterations=n_iter,
+        )
+
+    def _fast_forward(
+        self, probe: RunResult, deltas: List[float], n_iter: int
+    ) -> RunResult:
+        """Extend a converged probe to ``n_iter`` iterations closed-form."""
+        iteration_ends = [
+            extrapolate_ends(ends, delta, n_iter)
+            for ends, delta in zip(probe.iteration_ends, deltas)
+        ]
+        per_node = [ends[-1] if ends else 0.0 for ends in iteration_ends]
+        return RunResult(
+            total_seconds=max(per_node) if per_node else 0.0,
+            per_node_seconds=per_node,
+            iteration_ends=iteration_ends,
+            distribution=probe.distribution,
+            iterations=n_iter,
+            fast_forwarded=True,
         )
 
     # -- setup -------------------------------------------------------------------
@@ -609,3 +717,80 @@ class ClusterEmulator:
             yield from ctx.sync_write(
                 name, last_bytes, it, section, tile, stage, blocks[-1]
             )
+
+
+# -- module-level convenience ---------------------------------------------------
+
+
+def _copy_result(result: RunResult) -> RunResult:
+    """Fresh copy with private mutable lists (cache-safe to hand out)."""
+    return dataclasses.replace(
+        result,
+        per_node_seconds=list(result.per_node_seconds),
+        iteration_ends=[list(ends) for ends in result.iteration_ends],
+    )
+
+
+def emulate(
+    cluster: ClusterSpec,
+    program: ProgramStructure,
+    distribution: GenBlock,
+    *,
+    perturbation: Optional[PerturbationConfig] = None,
+    iterations: Optional[int] = None,
+    observer: Optional[Observer] = None,
+    instrumented: bool = False,
+    fast_forward: Optional[bool] = None,
+    cache: Union[None, bool, "object"] = None,
+) -> RunResult:
+    """One emulated run, memoised in the shared content-keyed run cache.
+
+    An emulated run is a pure function of ``(cluster, program,
+    distribution, iterations, perturbation, instrumented)`` — even the
+    perturbed ones, whose RNG streams are seeded from those labels — so
+    identical configurations across experiment panels, benchmark
+    repetitions and adaptive-runtime phases can share one simulation.
+
+    ``cache`` selects the memoisation store: ``None`` (default) uses
+    the process-wide :func:`repro.parallel.cache.default_run_cache`,
+    ``False`` bypasses caching entirely, and any
+    :class:`repro.parallel.cache.RunCache` instance is used directly.
+    Observed runs always bypass the cache (the observer's callbacks are
+    the point of the run).  Hits return a defensive copy, so callers
+    may mutate the result freely.
+    """
+    emulator = ClusterEmulator(cluster, program, perturbation)
+    if observer is not None or cache is False:
+        return emulator.run(
+            distribution,
+            observer=observer,
+            instrumented=instrumented,
+            iterations=iterations,
+            fast_forward=fast_forward,
+        )
+
+    from repro.parallel.cache import RunCache, default_run_cache
+
+    store = default_run_cache() if cache is None else cache
+    n_iter = iterations if iterations is not None else program.iterations
+    use_fast = _FAST_FORWARD_DEFAULT if fast_forward is None else bool(fast_forward)
+    key = RunCache.key(
+        cluster,
+        program,
+        distribution,
+        n_iter,
+        emulator.perturbation,
+        instrumented=instrumented,
+        fast_forward=use_fast,
+    )
+    hit = store.get(key)
+    if hit is not None:
+        return _copy_result(hit)
+    result = emulator.run(
+        distribution,
+        instrumented=instrumented,
+        iterations=iterations,
+        fast_forward=fast_forward,
+    )
+    store.put(key, _copy_result(result))
+    return result

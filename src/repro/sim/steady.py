@@ -1,0 +1,151 @@
+"""Steady-state cycle detection and fast-forward for emulated runs.
+
+A deterministic emulated run of an iteration-invariant program settles
+into a cycle: after the pipeline fills and the OS page cache warms
+(every out-of-core variable has been streamed through once), each
+iteration's event schedule is an exact time-shifted copy of the
+previous one, so every node's iteration-end times advance by a constant
+per-node delta.  Simulating all N iterations through the event loop is
+then pure repetition.
+
+The fast path exploits this in two steps:
+
+1. **Probe**: simulate only the first ``warmup + stable + 1``
+   iterations through the full event loop.
+2. **Detect + extrapolate**: if, past the warmup, the last ``stable``
+   iteration-end deltas of *every* node agree within a tight tolerance,
+   the remaining iterations are generated closed-form —
+   ``end(i) = end(probe) + (i - probe) * delta`` — producing a
+   :class:`~repro.sim.executor.RunResult` that matches full simulation
+   to within floating-point accumulation error (the golden suite pins
+   it at <= 1e-9 relative).
+
+Eligibility is decided *structurally* first
+(:func:`supports_fast_forward`): any stochastic perturbation
+(computation noise, background load), a non-uniform iteration profile,
+an attached observer (which must see every event) or an instrumented
+run disqualifies the fast path up front.  Convergence detection is the
+second, empirical gate: a workload that passes the structural check but
+whose deltas have not settled in the probe window silently falls back
+to full simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "FastForwardPolicy",
+    "supports_fast_forward",
+    "steady_deltas",
+    "extrapolate_ends",
+]
+
+
+@dataclass(frozen=True)
+class FastForwardPolicy:
+    """Knobs of the cycle detector.
+
+    Parameters
+    ----------
+    warmup:
+        Iteration-end deltas discarded before stability is judged: the
+        pipeline-fill and page-cache-warm transient.  (Measured across
+        every seed app x cluster combination the transient is at most
+        one delta; two adds safety margin.)
+    stable:
+        Number of consecutive trailing deltas, per node, that must
+        agree for the run to count as converged (the paper-scale RNA
+        pipeline needs more than one to rule out period-2 cycles).
+    rel_tol, abs_tol:
+        Tolerance for delta agreement.  Tight by design: the steady
+        schedule repeats *exactly* up to floating-point rounding, so a
+        loose tolerance would only mask genuine non-convergence.
+    """
+
+    warmup: int = 2
+    stable: int = 4
+    rel_tol: float = 1e-12
+    abs_tol: float = 1e-15
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.stable < 2:
+            raise ValueError(f"stable must be >= 2, got {self.stable}")
+
+    @property
+    def probe_iterations(self) -> int:
+        """Iterations the probe must simulate: warmup deltas to discard
+        plus ``stable`` deltas to judge (one delta needs two ends)."""
+        return self.warmup + self.stable + 1
+
+
+def supports_fast_forward(program, perturbation, *, observer=None,
+                          instrumented: bool = False) -> bool:
+    """Structural eligibility: is this run iteration-invariant and
+    unobserved, so that cycle fast-forward *could* apply?
+
+    * An observer must see every event of every iteration; skipping
+      iterations would drop records.
+    * Instrumented runs are single-iteration measurement passes.
+    * A non-uniform ``iteration_profile`` changes the work per
+      iteration — the schedule never repeats.
+    * Computation noise and background load draw from the run's RNG
+      stream on every stage execution: iterations differ by design,
+      and skipping them would desynchronise the stream.
+    """
+    if observer is not None or instrumented:
+        return False
+    if program.iteration_profile is not None:
+        return False
+    if perturbation.compute_noise:
+        return False
+    if perturbation.background_load > 0.0:
+        return False
+    return True
+
+
+def steady_deltas(
+    iteration_ends: Sequence[Sequence[float]], policy: FastForwardPolicy
+) -> Optional[List[float]]:
+    """Per-node steady iteration-end delta, or ``None`` if any node has
+    not converged.
+
+    ``iteration_ends`` is the probe's ``[node][iteration]`` completion
+    times.  A node converges when its last ``policy.stable`` deltas all
+    agree with the final one within ``rel_tol``/``abs_tol``; the final
+    delta is the extrapolation slope (it is the one the next full-sim
+    iteration would reproduce).
+    """
+    deltas: List[float] = []
+    for ends in iteration_ends:
+        if len(ends) < policy.probe_iterations:
+            return None
+        tail = [
+            ends[i] - ends[i - 1]
+            for i in range(len(ends) - policy.stable, len(ends))
+        ]
+        ref = tail[-1]
+        if ref < 0.0:  # a simulation clock never runs backwards
+            return None
+        tol = policy.rel_tol * abs(ref) + policy.abs_tol
+        if any(abs(d - ref) > tol for d in tail):
+            return None
+        deltas.append(ref)
+    return deltas
+
+
+def extrapolate_ends(
+    probe_ends: Sequence[float], delta: float, n_iterations: int
+) -> List[float]:
+    """Extend one node's probe iteration-end times to ``n_iterations``
+    closed-form: ``end(k) = end(probe-1) + (k - probe + 1) * delta``."""
+    ends = list(probe_ends)
+    base = ends[-1]
+    simulated = len(ends)
+    ends.extend(
+        base + (k + 1) * delta for k in range(n_iterations - simulated)
+    )
+    return ends

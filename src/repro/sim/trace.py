@@ -8,8 +8,9 @@ involved, and the measured duration.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["Op", "EventRecord", "TraceCollector"]
 
@@ -29,7 +30,7 @@ class Op:
     ITERATION_END = "iteration_end"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventRecord:
     """One traced operation."""
 
@@ -54,27 +55,38 @@ Observer = Callable[[EventRecord], None]
 
 
 class TraceCollector:
-    """An observer that simply stores every record (tests, debugging)."""
+    """An observer that stores every record (tests, debugging).
+
+    Records are additionally indexed by op kind, node and iteration as
+    they arrive, so the accessor methods are O(result) instead of
+    rescanning the full trace on every call — instrumentation-heavy
+    tests and :mod:`repro.instrument` query these thousands of times.
+    """
 
     def __init__(self) -> None:
         self.records: List[EventRecord] = []
+        self._by_op: Dict[str, List[EventRecord]] = defaultdict(list)
+        self._by_node: Dict[int, List[EventRecord]] = defaultdict(list)
+        self._by_iteration: Dict[int, List[EventRecord]] = defaultdict(list)
 
     def __call__(self, record: EventRecord) -> None:
         self.records.append(record)
+        self._by_op[record.op].append(record)
+        self._by_node[record.node].append(record)
+        self._by_iteration[record.iteration].append(record)
 
     def of_kind(self, op: str) -> List[EventRecord]:
-        return [r for r in self.records if r.op == op]
+        return list(self._by_op.get(op, ()))
 
     def for_node(self, node: int) -> List[EventRecord]:
-        return [r for r in self.records if r.node == node]
+        return list(self._by_node.get(node, ()))
 
     def for_iteration(self, iteration: int) -> List[EventRecord]:
-        return [r for r in self.records if r.iteration == iteration]
+        return list(self._by_iteration.get(iteration, ()))
 
     def total(self, op: str, node: Optional[int] = None) -> float:
         """Sum of durations of ``op`` records (optionally one node's)."""
-        return sum(
-            r.duration
-            for r in self.records
-            if r.op == op and (node is None or r.node == node)
-        )
+        records = self._by_op.get(op, ())
+        if node is None:
+            return sum(r.end - r.start for r in records)
+        return sum(r.end - r.start for r in records if r.node == node)

@@ -25,6 +25,53 @@ def traced_run(base_cluster):
     return trace, result, program
 
 
+class TestTraceCollectorIndexes:
+    """The collector's accessors are index-backed; they must agree with
+    brute-force scans of the raw record list."""
+
+    def test_indexed_accessors_match_full_scans(self, traced_run):
+        trace, _, _ = traced_run
+        records = trace.records
+        assert records
+        ops = {r.op for r in records}
+        nodes = {r.node for r in records}
+        iterations = {r.iteration for r in records}
+        for op in ops:
+            assert trace.of_kind(op) == [r for r in records if r.op == op]
+            assert trace.total(op) == pytest.approx(
+                sum(r.duration for r in records if r.op == op)
+            )
+            for node in nodes:
+                assert trace.total(op, node) == pytest.approx(
+                    sum(
+                        r.duration
+                        for r in records
+                        if r.op == op and r.node == node
+                    )
+                )
+        for node in nodes:
+            assert trace.for_node(node) == [r for r in records if r.node == node]
+        for it in iterations:
+            assert trace.for_iteration(it) == [
+                r for r in records if r.iteration == it
+            ]
+
+    def test_missing_keys_return_empty(self):
+        trace = TraceCollector()
+        assert trace.of_kind("compute") == []
+        assert trace.for_node(3) == []
+        assert trace.for_iteration(9) == []
+        assert trace.total("compute") == 0.0
+        assert trace.total("compute", node=1) == 0.0
+
+    def test_accessors_return_private_lists(self, traced_run):
+        trace, _, _ = traced_run
+        op = trace.records[0].op
+        first = trace.of_kind(op)
+        first.clear()
+        assert trace.of_kind(op)  # internal index untouched
+
+
 class TestAnalyseRun:
     def test_per_node_breakdowns(self, traced_run):
         trace, result, _ = traced_run

@@ -193,6 +193,116 @@ class TestDeterminism:
         assert run(*make()) == run(*make())
 
 
+class TestEngineSemantics:
+    """Regression pins for semantics the hot-loop rewrite must keep."""
+
+    def test_equal_time_events_dispatch_in_insertion_sequence(self):
+        # Ties created mid-run (not just at setup) also break by the
+        # order the events were pushed.
+        order = []
+
+        def proc(name, lead):
+            yield Delay(lead)  # stagger the *pushes* of the tied event
+            yield Delay(1.0 - lead)  # ...which all fire at t == 1.0
+            order.append(name)
+
+        run((0, proc("a", 0.00)), (1, proc("b", 0.25)), (2, proc("c", 0.50)))
+        assert order == ["a", "b", "c"]
+
+    def test_deadlock_message_names_blocked_channels(self):
+        def receiver():
+            yield Recv(3, "halo")
+
+        with pytest.raises(
+            SimulationError, match=r"deadlock: receivers blocked on node7<-node3:halo"
+        ):
+            run((7, receiver()))
+
+    def test_send_wakes_waiter_at_delivery_time(self):
+        # A blocked receiver resumes at the *delivery* time (send time
+        # plus transfer), never earlier.
+        times = {}
+
+        def sender():
+            yield Delay(1.0)
+            yield Send(1, "m", transfer=2.0)
+            yield Delay(0.0)
+
+        def receiver():
+            result = yield Recv(0, "m")
+            times["resume"] = float(result)
+
+        run((0, sender()), (1, receiver()))
+        assert times["resume"] == pytest.approx(3.0)
+
+    def test_send_wakes_waiter_immediately_with_zero_transfer(self):
+        times = {}
+
+        def sender():
+            yield Delay(1.5)
+            yield Send(1, "m", transfer=0.0)
+
+        def receiver():
+            result = yield Recv(0, "m")
+            times["resume"] = float(result)
+
+        run((0, sender()), (1, receiver()))
+        assert times["resume"] == pytest.approx(1.5)
+
+    def test_spawn_inherits_parent_node(self):
+        # The child's sends must originate from the parent's node: a
+        # receiver listening for node 2 gets the child's message.
+        got = []
+
+        def child():
+            yield Delay(0.5)
+            yield Send(0, "from-child", payload="hi")
+
+        def parent():
+            yield Spawn(child())
+            yield Delay(0.1)
+
+        def receiver():
+            result = yield Recv(2, "from-child")
+            got.append(result.payload)
+
+        engine = Engine()
+        pid_parent = engine.add_process(parent(), node=2)
+        engine.add_process(receiver(), node=0)
+        engine.run()
+        assert got == ["hi"]
+        # And the bookkeeping agrees: the spawned pid maps to node 2.
+        spawned = max(engine._pid_node)
+        assert spawned != pid_parent
+        assert engine._pid_node[spawned] == 2
+
+    def test_request_subclasses_still_dispatch(self):
+        # The type-keyed dispatch table admits subclasses lazily.
+        class SlowDelay(Delay):
+            pass
+
+        def proc():
+            t = yield SlowDelay(2.0)
+            assert t == pytest.approx(2.0)
+
+        assert run((0, proc())) == pytest.approx(2.0)
+
+    def test_generator_started_once_per_pid(self):
+        # The per-pid started flag must not re-prime a generator that
+        # already ran: the first resume returns the engine time, later
+        # resumes return updated times.
+        seen = []
+
+        def proc():
+            t = yield Delay(1.0)
+            seen.append(t)
+            t = yield Delay(1.0)
+            seen.append(t)
+
+        run((0, proc()))
+        assert seen == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
 class TestEngineMisc:
     def test_empty_engine_returns_zero(self):
         assert Engine().run() == 0.0
