@@ -84,7 +84,7 @@ def test_blk_self_prediction(benchmark, save_result):
         model = build_model(cluster, program)
         d0 = block(cluster, program.n_rows)
         actual = ClusterEmulator(cluster, program).run(d0).total_seconds
-        predicted = model.predict_seconds(d0)
+        predicted = model.predict(d0)
         return actual, predicted
 
     actual, predicted = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -51,7 +51,7 @@ def main() -> None:
     emulator = ClusterEmulator(cluster, program)
     rows = []
     for point in spectrum(cluster, program, steps_per_leg=2):
-        predicted = model.predict_seconds(point.distribution)
+        predicted = model.predict(point.distribution)
         actual = emulator.run(point.distribution).total_seconds
         error = abs(predicted - actual) / min(predicted, actual) * 100
         rows.append([point.label, actual, predicted, error])
@@ -74,9 +74,9 @@ def main() -> None:
     # Show the per-node breakdown for the chosen distribution.
     chosen = min(
         spectrum(cluster, program, steps_per_leg=2),
-        key=lambda p: model.predict_seconds(p.distribution),
+        key=lambda p: model.predict(p.distribution),
     )
-    print("\n" + model.predict(chosen.distribution).describe())
+    print("\n" + model.predict(chosen.distribution, report=True).describe())
 
 
 if __name__ == "__main__":

@@ -14,15 +14,28 @@ evaluation.
 
 Quick start::
 
-    from repro import (JacobiApp, config_hy1, build_model,
+    from repro import (JacobiApp, Recorder, config_hy1, build_model,
                        GeneralizedBinarySearch)
 
     cluster = config_hy1()
     program = JacobiApp.paper(scale=0.1).structure
     model = build_model(cluster, program)   # instrumented iteration
+
+    seconds = model.predict(distribution)            # one float
+    batch = model.predict(candidates, batch=True)    # vectorized array
+    report = model.predict(distribution, report=True)  # per-node report
+
     search = GeneralizedBinarySearch(model, cluster)
     result = search.search(budget=100)
     print(result)
+
+Every entry point — ``MhetaModel.predict``, ``Searcher.search``,
+``emulate``, ``run_spectrum``, ``AdaptiveRuntime.run`` — accepts a
+``telemetry=`` keyword taking a :class:`repro.obs.Recorder`; it fills
+with hierarchical spans, counters (cache hits, evaluations), gauges
+(per-node phase breakdowns) and observation series.  Telemetry left at
+``None`` costs one truthiness check per guarded site.  See
+``docs/api.md``.
 """
 
 from repro.exceptions import (
@@ -76,6 +89,13 @@ from repro.instrument import (
     run_microbenchmarks,
 )
 from repro.core import MhetaModel, PredictionReport
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    as_recorder,
+    reset_warnings,
+)
 from repro.apps import (
     Application,
     AppConfig,
@@ -157,6 +177,12 @@ __all__ = [
     # core
     "MhetaModel",
     "PredictionReport",
+    # obs (telemetry)
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "as_recorder",
+    "reset_warnings",
     # apps
     "Application",
     "AppConfig",

@@ -14,10 +14,14 @@ any Python:
 * ``timing``      — the evaluation-cost measurement;
 * ``spreads``     — the Section-5.3 best-vs-worst table;
 * ``ablation``    — the error-source ablation;
-* ``robustness``  — the non-dedicated-environment study.
+* ``robustness``  — the non-dedicated-environment study;
+* ``stats``       — one instrumented seed run dumping the full
+  telemetry surface (phase breakdown, cache and search counters).
 
 Every command takes ``--scale`` (default 0.1: seconds of wall time;
-``--scale 1.0`` is paper scale).
+``--scale 1.0`` is paper scale).  ``sweep``, ``predict``, ``search``,
+``adaptive`` and ``stats`` take ``--telemetry {text,json,csv}`` to dump
+the run's :class:`repro.obs.Recorder` after the normal output.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from repro.search import (
     SimulatedAnnealingSearch,
     SpectrumSweep,
 )
+from repro.obs import Recorder
 from repro.sim import ClusterEmulator
 
 __all__ = ["main", "build_parser"]
@@ -122,6 +127,31 @@ def _add_jobs(parser: argparse.ArgumentParser, cache: bool = False) -> None:
         )
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", choices=("text", "json", "csv"), default=None,
+        metavar="FMT",
+        help="record telemetry (repro.obs.Recorder) during the run and "
+        "dump it after the normal output: text, json or csv",
+    )
+
+
+def _telemetry_recorder(args) -> Optional[Recorder]:
+    return Recorder() if getattr(args, "telemetry", None) else None
+
+
+def _render_telemetry(rec: Optional[Recorder], args) -> str:
+    """Render a recorder per ``--telemetry``; empty string when off."""
+    if rec is None:
+        return ""
+    fmt = args.telemetry
+    if fmt == "json":
+        return rec.to_json()
+    if fmt == "csv":
+        return rec.to_csv()
+    return rec.describe()
+
+
 def _sweep_cache(args):
     from repro.parallel import SweepCache
 
@@ -145,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chart", action="store_true", help="ASCII chart too")
     _add_common(p)
     _add_jobs(p, cache=True)
+    _add_telemetry(p)
 
     p = sub.add_parser("predict", help="MHETA prediction for one distribution")
     p.add_argument("app", choices=APPS)
@@ -160,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     _add_kernel(p)
+    _add_telemetry(p)
 
     p = sub.add_parser(
         "instrument",
@@ -196,10 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_jobs(p)
     _add_kernel(p)
+    _add_telemetry(p)
 
     p = sub.add_parser("adaptive", help="the Section-6 adaptive runtime")
     p.add_argument("app", choices=APPS)
     _add_common(p)
+    _add_telemetry(p)
 
     p = sub.add_parser("accuracy", help="one Figure-9 panel")
     p.add_argument(
@@ -227,6 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("robustness", help="non-dedicated environment study")
     _add_common(p, config=False)
 
+    p = sub.add_parser(
+        "stats",
+        help="instrumented seed run: phase breakdown + full telemetry",
+    )
+    p.add_argument("app", nargs="?", default="jacobi", choices=APPS)
+    p.add_argument("--dist", default="blk", help=f"one of {ANCHORS}")
+    p.add_argument("--budget", type=int, default=40,
+                   help="search budget for the searcher-counter section")
+    _add_common(p)
+    _add_kernel(p)
+    _add_telemetry(p)
+
     return parser
 
 
@@ -234,12 +280,14 @@ def _cmd_sweep(args) -> str:
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale, args.prefetch)
     cache = _sweep_cache(args)
+    rec = _telemetry_recorder(args)
     run = run_spectrum(
         cluster,
         program,
         steps_per_leg=args.steps,
         jobs=args.jobs,
         cache=cache,
+        telemetry=rec,
     )
     if cache is not None:
         cache.save()
@@ -260,7 +308,9 @@ def _cmd_sweep(args) -> str:
         ),
     )
     if getattr(args, "chart", False):
-        return table + "\n\n" + run.chart()
+        table = table + "\n\n" + run.chart()
+    if rec is not None:
+        table = table + "\n\n" + _render_telemetry(rec, args)
     return table
 
 
@@ -307,12 +357,13 @@ def _cmd_predict(args) -> str:
     else:
         model = build_model(cluster, program, kernel=args.kernel)
     distribution = _anchor(args.dist, cluster, program)
-    report = model.predict(distribution)
+    rec = _telemetry_recorder(args)
+    report = model.predict(distribution, report=True, telemetry=rec)
     out = [report.describe()]
     if args.verify:
         from repro.sim import emulate
 
-        actual = emulate(cluster, program, distribution)
+        actual = emulate(cluster, program, distribution, telemetry=rec)
         error = (
             abs(report.total_seconds - actual.total_seconds)
             / min(report.total_seconds, actual.total_seconds)
@@ -321,7 +372,21 @@ def _cmd_predict(args) -> str:
         out.append(
             f"actual: {actual.total_seconds:.3f}s -> error {error:.2f}%"
         )
+    if rec is not None:
+        out.append("")
+        out.append(_render_telemetry(rec, args))
     return "\n".join(out)
+
+
+#: Uniform searcher constructors: every algorithm takes
+#: ``(model, cluster, *, batch_size=...)`` since the API consolidation.
+SEARCHER_FACTORIES = {
+    "gbs": GeneralizedBinarySearch,
+    "genetic": GeneticSearch,
+    "annealing": SimulatedAnnealingSearch,
+    "random": RandomSearch,
+    "sweep": SpectrumSweep,
+}
 
 
 def _cmd_search(args) -> str:
@@ -330,21 +395,15 @@ def _cmd_search(args) -> str:
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
     model = build_model(cluster, program, kernel=args.kernel)
-    batch_size = args.batch_size
-    factories = {
-        "gbs": lambda: GeneralizedBinarySearch(
-            model, cluster, batch_size=batch_size
-        ),
-        "genetic": lambda: GeneticSearch(model),
-        "annealing": lambda: SimulatedAnnealingSearch(
-            model, batch_size=batch_size
-        ),
-        "random": lambda: RandomSearch(model, batch_size=batch_size),
-        "sweep": lambda: SpectrumSweep(model, cluster, batch_size=batch_size),
-    }
+    rec = _telemetry_recorder(args)
     names = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
-    results = [factories[n]().search(budget=args.budget) for n in names]
-    blk = model.predict_seconds(block(cluster, program.n_rows))
+    results = [
+        SEARCHER_FACTORIES[n](
+            model, cluster, batch_size=args.batch_size
+        ).search(budget=args.budget, telemetry=rec)
+        for n in names
+    ]
+    blk = model.predict(block(cluster, program.n_rows), telemetry=rec)
     out = []
     for result in results:
         out.append(
@@ -354,20 +413,86 @@ def _cmd_search(args) -> str:
         )
     if args.verify:
         actuals = verify_distributions(
-            cluster, program, [r.best for r in results], jobs=args.jobs
+            cluster,
+            program,
+            [r.best for r in results],
+            jobs=args.jobs,
+            telemetry=rec,
         )
         for result, actual in zip(results, actuals):
             out.append(
                 f"{result.algorithm}: emulator verifies {actual:.3f}s "
                 f"(predicted {result.predicted_seconds:.3f}s)"
             )
+    if rec is not None:
+        out.append("")
+        out.append(_render_telemetry(rec, args))
     return "\n".join(out)
 
 
 def _cmd_adaptive(args) -> str:
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
-    return AdaptiveRuntime(cluster, program).run().describe()
+    rec = _telemetry_recorder(args)
+    out = AdaptiveRuntime(cluster, program).run(telemetry=rec).describe()
+    if rec is not None:
+        out = out + "\n\n" + _render_telemetry(rec, args)
+    return out
+
+
+def _cmd_stats(args) -> str:
+    """One instrumented seed run exercising the whole telemetry surface:
+    a reported prediction (phase breakdown), repeated predictions (table
+    cache hits), two identical emulations (run-cache miss then hit), and
+    a small search (searcher counters)."""
+    from repro.sim import emulate
+
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale)
+    distribution = _anchor(args.dist, cluster, program)
+    rec = Recorder()
+
+    model = build_model(cluster, program, kernel=args.kernel)
+    report = model.predict(distribution, report=True, telemetry=rec)
+    # Second pass over the same distribution: section-table cache hits.
+    model.predict(distribution, telemetry=rec)
+
+    # Emulate twice: first call misses the run cache, second hits it.
+    emulate(cluster, program, distribution, telemetry=rec)
+    actual = emulate(cluster, program, distribution, telemetry=rec)
+
+    search = GeneralizedBinarySearch(model, cluster)
+    result = search.search(budget=args.budget, telemetry=rec)
+
+    phases = {
+        name.rsplit("/", 1)[-1]: value
+        for name, value in rec.gauges.items()
+        if name.startswith("model/phase/") and name.count("/") == 2
+    }
+    total = report.total_seconds
+    lines = [
+        f"{program.name} on {cluster.name}, {args.dist} distribution",
+        f"predicted {total:.6f}s, emulated {actual.total_seconds:.6f}s",
+        "",
+        "phase breakdown (bottleneck node, whole run):",
+    ]
+    phase_keys = ("comp", "io_sync", "io_prefetch", "comm_overhead", "blocked")
+    for key in phase_keys:
+        if key in phases:
+            lines.append(f"  {key:<14s} {phases[key]:.9f}s")
+    phase_sum = sum(phases.get(k, 0.0) for k in phase_keys)
+    lines.append(
+        f"  {'sum':<14s} {phase_sum:.9f}s "
+        f"(predicted total {total:.9f}s, |diff| {abs(phase_sum - total):.2e})"
+    )
+    lines += [
+        "",
+        f"search: {result.algorithm} best {result.predicted_seconds:.6f}s "
+        f"in {result.evaluations} evaluations",
+        "",
+        _render_telemetry(rec, args) if args.telemetry else rec.describe(),
+    ]
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -419,6 +544,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "robustness":
         print(dedicated_assumption_study(scale=args.scale).describe())
+    elif args.command == "stats":
+        print(_cmd_stats(args))
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

@@ -368,7 +368,7 @@ class SectionTimeline:
             return A
         raise ModelError(f"unknown communication pattern: {pattern}")
 
-    # -- batched sections (the ``predict_seconds_batch`` path) ---------------
+    # -- batched sections (the ``predict(batch=True)`` path) -----------------
     #
     # A whole population of candidate distributions advances together:
     # clocks become ``(B, P)`` arrays, section matrices ``(B, P, P)``

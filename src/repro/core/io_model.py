@@ -289,6 +289,56 @@ class StageTimeModel:
             io += self.write_block_seconds(node, name, blocks[-1] * row_bytes)
         return io
 
+    # -- telemetry helpers -------------------------------------------------------
+
+    def node_prefetch_io_seconds(
+        self,
+        node: int,
+        rows: int,
+        section: ParallelSection,
+        plan: MemoryPlan,
+    ) -> float:
+        """The Equation-2 (prefetch-loop) share of this node's section
+        I/O, summed over every tile and stage; zero for non-prefetching
+        programs.
+
+        Telemetry-only: the phase breakdown reports ``io_prefetch`` from
+        this and ``io_sync`` as the remainder of the stage tables' I/O,
+        so the two always sum to the table I/O exactly regardless of
+        kernel.  Scalar replay of the same per-tile loop the reference
+        kernel uses — cheap at report granularity, never on a hot path.
+        """
+        if not self._program.prefetch:
+            return 0.0
+        variables = self._program.variable_map
+        placements = plan.placements
+
+        def _ooc(name: str) -> bool:
+            p = placements.get(name)
+            return p is not None and not p.in_core
+
+        tile_rows_all = self.section_tile_rows(rows, section.tiles)
+        total = 0.0
+        for stage in section.stages:
+            reads_ooc = [v for v in stage.reads if _ooc(v)]
+            if not reads_ooc:
+                continue
+            primary = reads_ooc[0]
+            write_back = (
+                primary in stage.writes and variables[primary].writes_back
+            )
+            compute_total = self.scaled_compute(node, section, stage, rows)
+            for trows in tile_rows_all.tolist():
+                if trows == 0:
+                    continue
+                tile_compute = (
+                    compute_total * (trows / rows) if rows > 0 else 0.0
+                )
+                total += self._prefetch_loop_seconds(
+                    node, primary, plan, trows, tile_compute, write_back
+                )
+        return total
+
     # -- vectorized section kernel ----------------------------------------------
     #
     # The scalar methods above walk tiles, then ICLA blocks, in Python.

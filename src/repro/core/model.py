@@ -59,6 +59,7 @@ from repro.core.report import (
 from repro.distribution.genblock import GenBlock
 from repro.exceptions import ModelError
 from repro.instrument.inputs import MhetaInputs
+from repro.obs import Recorder, warn_once
 from repro.program.sections import CommPattern, ParallelSection
 from repro.program.structure import ProgramStructure
 from repro.util.lru import LRUCache
@@ -79,6 +80,70 @@ def _tile_rows(rows: int, tiles: int, tile: int) -> int:
     lo = (rows * tile) // tiles
     hi = (rows * (tile + 1)) // tiles
     return hi - lo
+
+
+def _pattern_message_counts(
+    pattern: CommPattern, n_nodes: int, tiles: int
+) -> Tuple[List[int], List[int]]:
+    """Per-node ``(sends, recvs)`` message counts for one section's
+    closing communication, per iteration.
+
+    Every pattern's schedule is data-independent, so the counts are a
+    pure function of ``(pattern, P, tiles)``.  The reduction replays the
+    binomial reduce-to-0 + broadcast schedule of
+    :meth:`SectionTimeline._reduce_broadcast` (counting posts instead of
+    advancing clocks); the others have closed forms.  Used by the
+    telemetry phase breakdown to charge ``send_overhead``/
+    ``recv_overhead`` seconds to the node that pays them.
+    """
+    P = n_nodes
+    sends = [0] * P
+    recvs = [0] * P
+    if P <= 1 or pattern is CommPattern.NONE:
+        return sends, recvs
+    if pattern is CommPattern.NEAREST_NEIGHBOR:
+        for n in range(P):
+            neighbours = (1 if n > 0 else 0) + (1 if n < P - 1 else 0)
+            sends[n] = neighbours
+            recvs[n] = neighbours
+        return sends, recvs
+    if pattern is CommPattern.PIPELINE:
+        for n in range(P):
+            if n < P - 1:
+                sends[n] = tiles
+            if n > 0:
+                recvs[n] = tiles
+        return sends, recvs
+    if pattern is CommPattern.ALLGATHER:
+        for n in range(P):
+            sends[n] = P - 1
+            recvs[n] = P - 1
+        return sends, recvs
+    if pattern is CommPattern.REDUCTION:
+        exited = [False] * P
+        mask = 1
+        while mask < P:
+            for n in range(P):
+                if not exited[n] and (n & mask):
+                    sends[n] += 1
+                    exited[n] = True
+            for n in range(P):
+                if not exited[n] and not (n & mask) and (n | mask) < P:
+                    recvs[n] += 1
+            mask <<= 1
+        pot = 1
+        while pot < P:
+            pot <<= 1
+        mask = pot >> 1
+        while mask > 0:
+            for n in range(P):
+                if n % (2 * mask) == 0 and n + mask < P:
+                    sends[n] += 1
+                elif n % (2 * mask) == mask:
+                    recvs[n] += 1
+            mask >>= 1
+        return sends, recvs
+    raise ModelError(f"unknown communication pattern: {pattern}")
 
 
 @dataclass(frozen=True)
@@ -187,50 +252,121 @@ class MhetaModel:
 
     def predict(
         self,
-        distribution: GenBlock,
+        distribution,
         iterations: Optional[int] = None,
-    ) -> PredictionReport:
-        """Full prediction with per-node, per-section breakdowns."""
-        return self._predict(distribution, iterations, want_report=True)
+        *,
+        batch=False,
+        report: bool = False,
+        telemetry: Optional[Recorder] = None,
+    ):
+        """The consolidated prediction entry point.
+
+        ``predict(dist)``
+            predicted total seconds (``float``) — the search hot path.
+        ``predict(dist, report=True)``
+            full :class:`PredictionReport` with per-node, per-section
+            breakdowns.
+        ``predict(dists, batch=True)``
+            an ``np.ndarray`` scoring a whole candidate population in
+            one vectorized pass (``<= 1e-12`` relative vs. the serial
+            path).
+        ``predict(dists, batch="serial")``
+            a ``List[float]`` from the bit-identical serial loop
+            (what spectrum sweeps use: exact per-candidate equality
+            with single calls, tables shared through the LRU).
+
+        ``telemetry`` takes a :class:`repro.obs.Recorder`; with
+        ``report=True`` it additionally records the per-node phase
+        breakdown (comp / sync-I/O / prefetch-I/O / send+recv overhead /
+        blocked) whose components sum exactly to each node's predicted
+        total.  ``telemetry=None`` (default) costs one truthiness check.
+        """
+        if batch:
+            if report:
+                raise ModelError(
+                    "report=True is only available for single predictions"
+                )
+            dists = list(distribution)
+            if batch == "serial":
+                if telemetry:
+                    telemetry.count("model/serial_batches")
+                    telemetry.observe("model/serial_batch_size", len(dists))
+                transient = (
+                    LRUCache(DEFAULT_TABLE_CACHE_ENTRIES)
+                    if self._tables_cache is None
+                    else None
+                )
+                out = [
+                    self._predict(
+                        d, iterations, want_report=False,
+                        table_cache=transient,
+                    )
+                    for d in dists
+                ]
+                if telemetry:
+                    self._record_cache_gauges(telemetry)
+                    telemetry.count("model/predictions", len(dists))
+                return out
+            out = self._predict_batch(dists, iterations)
+            if telemetry:
+                telemetry.count("model/batch_predictions")
+                telemetry.observe("model/batch_size", len(dists))
+                telemetry.count("model/predictions", len(dists))
+                self._record_cache_gauges(telemetry)
+            return out
+        result = self._predict(
+            distribution, iterations, want_report=report, telemetry=telemetry
+        )
+        if telemetry:
+            telemetry.count("model/predictions")
+            self._record_cache_gauges(telemetry)
+        return result
+
+    # -- deprecated aliases (thin shims; each warns once per process) --------
 
     def predict_seconds(
         self,
         distribution: GenBlock,
         iterations: Optional[int] = None,
     ) -> float:
-        """Fast path returning only the predicted total time (what a
-        distribution-search evaluation function needs)."""
-        return self._predict(distribution, iterations, want_report=False)
+        """Deprecated alias for :meth:`predict`."""
+        warn_once(
+            "MhetaModel.predict_seconds", "MhetaModel.predict(distribution)"
+        )
+        return self.predict(distribution, iterations)
 
     def predict_many(
         self,
         distributions: Sequence[GenBlock],
         iterations: Optional[int] = None,
     ) -> List[float]:
-        """Batched :meth:`predict_seconds` over candidate distributions.
-
-        Candidates sharing row counts on a node (spectrum points share
-        their leg endpoints, search populations converge) share the
-        table construction through the model's bounded LRU.  Results
-        are bit-identical to calling :meth:`predict_seconds` per
-        candidate: the cache only reuses values the serial path would
-        recompute identically.  When the persistent cache is disabled
-        (``table_cache=0``) the batch still shares a transient bounded
-        memo, so long sweeps cannot grow memory without limit.
-        """
-        transient = (
-            LRUCache(DEFAULT_TABLE_CACHE_ENTRIES)
-            if self._tables_cache is None
-            else None
+        """Deprecated alias for ``predict(dists, batch="serial")``."""
+        warn_once(
+            "MhetaModel.predict_many",
+            'MhetaModel.predict(distributions, batch="serial")',
         )
-        return [
-            self._predict(
-                d, iterations, want_report=False, table_cache=transient
-            )
-            for d in distributions
-        ]
+        return self.predict(distributions, iterations, batch="serial")
 
     def predict_seconds_batch(
+        self,
+        distributions: Sequence[GenBlock],
+        iterations: Optional[int] = None,
+    ) -> np.ndarray:
+        """Deprecated alias for ``predict(dists, batch=True)``."""
+        warn_once(
+            "MhetaModel.predict_seconds_batch",
+            "MhetaModel.predict(distributions, batch=True)",
+        )
+        return self.predict(distributions, iterations, batch=True)
+
+    def _record_cache_gauges(self, rec: Recorder) -> None:
+        stats = self.table_cache_stats
+        rec.set("model/table_cache/size", stats["size"])
+        rec.set("model/table_cache/hits", stats["hits"])
+        rec.set("model/table_cache/misses", stats["misses"])
+        rec.set("model/table_cache/evictions", stats["evictions"])
+
+    def _predict_batch(
         self,
         distributions: Sequence[GenBlock],
         iterations: Optional[int] = None,
@@ -868,6 +1004,7 @@ class MhetaModel:
         iterations: Optional[int],
         want_report: bool,
         table_cache: Optional[LRUCache] = None,
+        telemetry: Optional[Recorder] = None,
     ):
         if distribution.n_nodes != self.n_nodes:
             raise ModelError("distribution does not match the model's nodes")
@@ -948,9 +1085,142 @@ class MhetaModel:
                     sections=tuple(final_sections),
                 )
             )
+        if telemetry:
+            self._record_phases(
+                telemetry, distribution, tables, totals, steady, n_iter
+            )
         return PredictionReport(
             program_name=self.program.name,
             distribution=distribution,
             iterations=n_iter,
             nodes=tuple(nodes),
+        )
+
+    # -- telemetry phase breakdown ----------------------------------------------
+
+    def _record_phases(
+        self,
+        rec: Recorder,
+        distribution: GenBlock,
+        tables: List[_SectionTables],
+        totals,
+        steady,
+        n_iter: int,
+    ) -> None:
+        """Record the per-node phase decomposition of a prediction.
+
+        Five phases per node, over the whole ``n_iter``-iteration run:
+
+        ``comp``
+            measured computation, rescaled (Section 4.2.1) and summed
+            over the iteration-profile multipliers when one exists;
+        ``io_sync`` / ``io_prefetch``
+            the Equation-1 vs. Equation-2 shares of the stage tables'
+            I/O, plus the disk reads that materialise outgoing
+            neighbour-exchange messages (sync, Equation 3's ``source
+            read`` term);
+        ``comm_overhead``
+            per-message ``send_overhead``/``recv_overhead`` seconds
+            charged to the node that pays them (message counts are a
+            pure function of the section patterns);
+        ``blocked``
+            everything else — the residual of the node's predicted
+            total clock, i.e. time spent waiting on neighbours,
+            collectives, and pipeline fills.
+
+        ``blocked`` is *defined* as the residual, so the five phases
+        sum to the node's predicted total exactly (to float rounding),
+        which is what the ``repro stats`` acceptance gate checks.
+        """
+        P = self.n_nodes
+        micro = self.inputs.micro
+        counts = distribution.counts
+        sections = self.program.sections
+        profile = self.program.iteration_profile
+        if profile is None:
+            comp_scale = float(n_iter)
+        else:
+            m0 = self.program.iteration_multiplier(0)
+            comp_scale = sum(
+                (
+                    self.program.iteration_multiplier(it)
+                    if it < self.program.iterations
+                    else 1.0
+                )
+                / m0
+                for it in range(n_iter)
+            )
+        sec_counts = [
+            _pattern_message_counts(s.comm.pattern, P, s.tiles)
+            for s in sections
+        ]
+        agg = {
+            "comp": 0.0, "io_sync": 0.0, "io_prefetch": 0.0,
+            "comm_overhead": 0.0, "blocked": 0.0, "total": 0.0,
+        }
+        bottleneck = 0
+        for n in range(P):
+            comp_iter = sum(self._row_sum(t.tile_compute[n]) for t in tables)
+            local_iter = sum(self._row_sum(t.tile_totals[n]) for t in tables)
+            io_iter = local_iter - comp_iter
+            plan = self.oracle.plan(n, counts[n])
+            prefetch_iter = sum(
+                self.stage_model.node_prefetch_io_seconds(
+                    n, counts[n], s, plan
+                )
+                for s in sections
+            )
+            sync_iter = io_iter - prefetch_iter
+            sends = 0
+            recvs = 0
+            source_iter = 0.0
+            for (sec_sends, sec_recvs), t in zip(sec_counts, tables):
+                sends += sec_sends[n]
+                recvs += sec_recvs[n]
+                if t.section.comm.pattern is CommPattern.NEAREST_NEIGHBOR:
+                    source_iter += sec_sends[n] * float(t.source_read[n])
+            overhead_iter = (
+                sends * micro.send_overhead + recvs * micro.recv_overhead
+            )
+            comp_total = comp_iter * comp_scale
+            sync_total = sync_iter * n_iter + source_iter * n_iter
+            prefetch_total = prefetch_iter * n_iter
+            overhead_total = overhead_iter * n_iter
+            node_total = float(totals[n])
+            blocked = (
+                node_total
+                - comp_total
+                - sync_total
+                - prefetch_total
+                - overhead_total
+            )
+            phases = {
+                "comp": comp_total,
+                "io_sync": sync_total,
+                "io_prefetch": prefetch_total,
+                "comm_overhead": overhead_total,
+                "blocked": blocked,
+                "total": node_total,
+            }
+            for name, value in phases.items():
+                rec.set(f"model/phase/node{n}/{name}", value)
+                agg[name] += value
+            rec.count(f"model/messages/node{n}/sends", sends * n_iter)
+            rec.count(f"model/messages/node{n}/recvs", recvs * n_iter)
+            if node_total > float(totals[bottleneck]):
+                bottleneck = n
+        # Top-level gauges describe the bottleneck node — its clock *is*
+        # the predicted application time — plus all-node phase sums.
+        for name in ("comp", "io_sync", "io_prefetch", "comm_overhead",
+                     "blocked", "total"):
+            rec.set(
+                f"model/phase/{name}",
+                rec.gauges[f"model/phase/node{bottleneck}/{name}"],
+            )
+            rec.set(f"model/phase/allnodes/{name}", agg[name])
+        rec.set("model/phase/bottleneck_node", bottleneck)
+        rec.set("model/phase/iterations", n_iter)
+        rec.set(
+            "model/phase/steady_iteration_seconds",
+            float(steady[bottleneck]),
         )

@@ -9,7 +9,7 @@ actual execution times" (Section 5.2.1).
 
 ``run_spectrum`` is the primitive every sweep experiment reduces to.
 It deduplicates spectrum points, predicts them in one batched
-:meth:`~repro.core.model.MhetaModel.predict_many` call, optionally fans
+:meth:`~repro.core.model.MhetaModel.predict` call, optionally fans
 the independent emulator runs out over a process pool
 (:class:`~repro.parallel.ParallelRunner`) and consults a content-keyed
 :class:`~repro.parallel.SweepCache`.  All of that is bit-identical to
@@ -30,6 +30,7 @@ from repro.distribution.genblock import GenBlock
 from repro.distribution.spectrum import spectrum
 from repro.exceptions import ExperimentError
 from repro.instrument.collect import collect_inputs
+from repro.obs import Recorder, as_recorder
 from repro.parallel.cache import SweepCache
 from repro.parallel.runner import ParallelRunner
 from repro.program.structure import ProgramStructure
@@ -164,13 +165,17 @@ def run_spectrum(
     model: Optional[MhetaModel] = None,
     jobs: int = 1,
     cache: Optional[SweepCache] = None,
+    telemetry: Optional[Recorder] = None,
 ) -> SpectrumRun:
     """Compare actual vs predicted over the distribution spectrum.
 
     ``jobs`` fans the per-point emulator runs out over a process pool
     (``1`` = serial); ``cache`` memoises ``(actual, predicted)`` pairs
     across calls.  Neither changes the numbers — only the wall clock.
+    ``telemetry`` (a :class:`repro.obs.Recorder`) receives sweep-level
+    counters plus whatever the model and runner record.
     """
+    rec = as_recorder(telemetry)
     points = list(spectrum(cluster, program, steps_per_leg, full_path))
 
     # Distinct distributions, in first-seen order (legs share endpoints).
@@ -198,8 +203,12 @@ def run_spectrum(
         # instrumented iteration behind build_model is skipped.
         if model is None:
             model = build_model(cluster, program, perturbation)
-        predicted = model.predict_many([GenBlock(k) for k in pending])
-        actual = ParallelRunner(jobs).map(
+        predicted = model.predict(
+            [GenBlock(k) for k in pending],
+            batch="serial",
+            telemetry=telemetry,
+        )
+        actual = ParallelRunner(jobs, telemetry=telemetry).map(
             _emulate_task,
             [(cluster, program, perturbation, k) for k in pending],
         )
@@ -207,6 +216,13 @@ def run_spectrum(
             pairs[key] = (a, p)
             if cache is not None:
                 cache.store(cluster, program, GenBlock(key), a, p, perturbation)
+
+    if rec:
+        rec.count("sweep/runs")
+        rec.count("sweep/points", len(points))
+        rec.count("sweep/distinct_points", len(order))
+        rec.count("sweep/cache_hits", len(order) - len(pending))
+        rec.count("sweep/emulated", len(pending))
 
     comparisons: List[PointComparison] = []
     for point in points:

@@ -5,8 +5,7 @@ takes about 5.4 ms.  This efficiency is important because we intend to
 eventually use it within a new MPI-based runtime system that will choose
 a distribution during runtime."
 
-We time ``MhetaModel.predict_seconds`` over a mix of spectrum
-candidates.  Absolute numbers depend on the host (ours is a Python
+We time ``MhetaModel.predict`` over a mix of spectrum candidates.  Absolute numbers depend on the host (ours is a Python
 reimplementation two decades later), so the claim under test is the
 usable-on-the-fly property: milliseconds per evaluation, not seconds.
 """
@@ -77,12 +76,12 @@ def model_evaluation_timing(
     ]
     # Warm-up pass (oracle caches, JIT-free but bytecode warm).
     for d in candidates:
-        model.predict_seconds(d)
+        model.predict(d)
     samples: List[float] = []
     for _ in range(repeats):
         for d in candidates:
             t0 = time.perf_counter()
-            model.predict_seconds(d)
+            model.predict(d)
             samples.append((time.perf_counter() - t0) * 1e3)
     return TimingResult(
         mean_ms=sum(samples) / len(samples),

@@ -1,0 +1,35 @@
+"""Warn-once machinery for deprecated public aliases.
+
+The PR-5 API consolidation keeps the old entry points
+(``predict_seconds`` and friends) as thin shims.  Each shim calls
+:func:`warn_once` with its own key, so a long sweep that calls a
+deprecated alias a million times emits exactly one
+``DeprecationWarning`` per process.  Tests that assert the warning
+call :func:`reset_warnings` first.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset_warnings"]
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(alias: str, replacement: str, stacklevel: int = 3) -> None:
+    """Emit one ``DeprecationWarning`` per ``alias`` per process."""
+    if alias in _WARNED:
+        return
+    _WARNED.add(alias)
+    warnings.warn(
+        f"{alias} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_warnings() -> None:
+    """Forget which aliases have warned (test hook)."""
+    _WARNED.clear()

@@ -16,7 +16,7 @@ parallel.  This package provides the shared machinery:
   search winners;
 * :func:`predict_seconds_sharded` — shard a large candidate batch
   across workers, each scoring its slice with the vectorized
-  ``predict_seconds_batch`` kernel.
+  ``predict(batch=True)`` kernel.
 
 Determinism: every emulator run seeds its RNG streams from
 ``(cluster, program, distribution, node)`` labels (see

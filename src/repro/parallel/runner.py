@@ -15,8 +15,11 @@ streams of the emulator guarantee (see ``repro.parallel``).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.obs import Recorder, as_recorder
 
 __all__ = ["ParallelRunner", "resolve_jobs", "split_shards"]
 
@@ -61,22 +64,49 @@ class ParallelRunner:
     jobs:
         Worker processes.  ``1`` (the default) runs everything serially
         in the calling process; ``0`` means one worker per CPU.
+    telemetry:
+        Optional :class:`repro.obs.Recorder`.  Worker processes cannot
+        reach the parent's recorder, so what is recorded is the
+        coordinating side's view: tasks dispatched, workers used,
+        per-``map`` wall time, and per-shard task counts.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(
+        self, jobs: int = 1, telemetry: Optional[Recorder] = None
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.telemetry = as_recorder(telemetry)
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """Apply ``fn`` to every item; results are returned in input
         order (the property that makes fan-out bit-identical)."""
         work: Sequence[T] = list(items)
+        rec = self.telemetry
+        started = time.perf_counter() if rec else 0.0
         if self.jobs <= 1 or len(work) <= 1:
-            return [fn(item) for item in work]
+            results = [fn(item) for item in work]
+            if rec:
+                self._record_map(rec, len(work), 1, started)
+            return results
         workers = min(self.jobs, len(work))
         # Modest chunking amortises pickling without starving workers.
         chunksize = max(1, len(work) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, work, chunksize=chunksize))
+            results = list(pool.map(fn, work, chunksize=chunksize))
+        if rec:
+            self._record_map(rec, len(work), workers, started)
+        return results
+
+    def _record_map(
+        self, rec: Recorder, tasks: int, workers: int, started: float
+    ) -> None:
+        rec.count("parallel/maps")
+        rec.count("parallel/tasks", tasks)
+        rec.set("parallel/workers", workers)
+        rec.observe("parallel/map_seconds", time.perf_counter() - started)
+        # Ordered chunked dispatch: worker w handles ~tasks/workers
+        # tasks; record the per-worker share the chunking targets.
+        rec.observe("parallel/tasks_per_worker", tasks / max(workers, 1))
 
     def map_shards(
         self, fn: Callable[[List[T]], List[R]], items: Iterable[T]
@@ -85,6 +115,10 @@ class ParallelRunner:
         ``fn`` (a list-to-list function, e.g. a batched model kernel) to
         each shard, and concatenate the results in input order."""
         shards = split_shards(items, self.jobs)
+        rec = self.telemetry
+        if rec:
+            for shard in shards:
+                rec.observe("parallel/shard_tasks", len(shard))
         flat: List[R] = []
         for result in self.map(fn, shards):
             flat.extend(result)

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import ClusterSpec
 from repro.distribution.genblock import GenBlock
+from repro.obs import Recorder, as_recorder
 from repro.parallel.runner import ParallelRunner
 from repro.program.structure import ProgramStructure
 from repro.sim.perturbation import PerturbationConfig
@@ -37,6 +38,8 @@ def verify_distributions(
     distributions: Sequence[GenBlock],
     jobs: int = 1,
     perturbation: Optional[PerturbationConfig] = None,
+    *,
+    telemetry: Optional[Recorder] = None,
 ) -> List[float]:
     """Actual (emulated) execution time of each distribution, in order.
 
@@ -47,4 +50,11 @@ def verify_distributions(
         (cluster, program, perturbation, tuple(d.counts))
         for d in distributions
     ]
-    return ParallelRunner(jobs).map(_verify_task, tasks)
+    rec = as_recorder(telemetry)
+    with rec.span("parallel/verify"):
+        results = ParallelRunner(jobs, telemetry=telemetry).map(
+            _verify_task, tasks
+        )
+    if rec:
+        rec.count("verify/runs", len(results))
+    return results

@@ -29,6 +29,7 @@ from repro.core.model import MhetaModel
 from repro.distribution.factories import block
 from repro.distribution.genblock import GenBlock
 from repro.instrument.collect import collect_inputs
+from repro.obs import Recorder, as_recorder
 from repro.program.structure import ProgramStructure
 from repro.runtime.redistribution import RedistributionModel
 from repro.search.base import SearchAlgorithm
@@ -107,8 +108,19 @@ class AdaptiveRuntime:
         self.search_budget = search_budget
         self.safety_factor = safety_factor
 
-    def run(self, start: Optional[GenBlock] = None) -> AdaptiveReport:
-        """Execute the full adaptive protocol and report."""
+    def run(
+        self,
+        start: Optional[GenBlock] = None,
+        *,
+        telemetry: Optional[Recorder] = None,
+    ) -> AdaptiveReport:
+        """Execute the full adaptive protocol and report.
+
+        ``telemetry`` (a :class:`repro.obs.Recorder`) receives the
+        searcher's counters plus the protocol-level phase gauges
+        (``adaptive/…``) when supplied.
+        """
+        rec = as_recorder(telemetry)
         program = self.program
         if start is None:
             start = block(self.cluster, program.n_rows)
@@ -140,12 +152,18 @@ class AdaptiveRuntime:
         model = MhetaModel(program, self.cluster, inputs)
         search = self._search or GeneralizedBinarySearch(model, self.cluster)
         wall_start = time.perf_counter()
-        result = search.search(budget=self.search_budget, start=start)
+        result = search.search(
+            budget=self.search_budget, start=start, telemetry=telemetry
+        )
         search_wall = time.perf_counter() - wall_start
 
         remaining = max(program.iterations - 1, 0)
-        predicted_start = model.predict_seconds(start, iterations=remaining)
-        predicted_best = model.predict_seconds(result.best, iterations=remaining)
+        predicted_start = model.predict(
+            start, iterations=remaining, telemetry=telemetry
+        )
+        predicted_best = model.predict(
+            result.best, iterations=remaining, telemetry=telemetry
+        )
         per_iteration_savings = (
             (predicted_start - predicted_best) / remaining if remaining else 0.0
         )
@@ -181,6 +199,15 @@ class AdaptiveRuntime:
         static_seconds = emulate(
             self.cluster, program, start, perturbation=self.perturbation
         ).total_seconds
+
+        if rec:
+            rec.count("adaptive/runs")
+            rec.set("adaptive/instrumented_seconds", instrumented_seconds)
+            rec.set("adaptive/search_wall_seconds", search_wall)
+            rec.set("adaptive/redistribution_seconds", redistribution_seconds)
+            rec.set("adaptive/remaining_seconds", remaining_seconds)
+            rec.set("adaptive/static_seconds", static_seconds)
+            rec.set("adaptive/switched", 1.0 if switch else 0.0)
 
         return AdaptiveReport(
             start_distribution=start,

@@ -5,7 +5,7 @@ inside four search strategies — generalized binary search (GBS),
 genetic, simulated annealing, and random — to pick a distribution at run
 time.  The companion paper's text is not available, so these are
 documented reconstructions sharing one contract: minimise
-``MhetaModel.predict_seconds`` over GEN_BLOCK distributions.
+``MhetaModel.predict`` over GEN_BLOCK distributions.
 
 All searches are deterministic (seeded) and report how many model
 evaluations they spent — the quantity the paper's ~5.4 ms/evaluation

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
+from repro.cluster.cluster import ClusterSpec
 from repro.core.model import MhetaModel
 from repro.distribution.genblock import GenBlock
 from repro.search.base import SearchAlgorithm, evaluate_batch
@@ -41,12 +42,17 @@ class SimulatedAnnealingSearch(SearchAlgorithm):
     def __init__(
         self,
         model: MhetaModel,
+        cluster: Optional[ClusterSpec] = None,
+        *,
         steps: int = 150,
         initial_acceptance: float = 0.5,
         cooling: float = 0.97,
         batch_size: int = 64,
+        seed_label: str = "",
     ) -> None:
-        super().__init__(model, batch_size=batch_size)
+        super().__init__(
+            model, cluster, batch_size=batch_size, seed_label=seed_label
+        )
         self.steps = steps
         self.initial_acceptance = initial_acceptance
         self.cooling = cooling

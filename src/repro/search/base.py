@@ -9,10 +9,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.cluster import ClusterSpec
 from repro.core.model import MhetaModel
 from repro.core.report import PredictionReport
 from repro.distribution.genblock import GenBlock, largest_remainder_round
 from repro.exceptions import SearchError
+from repro.obs import NULL_RECORDER, Recorder, as_recorder
 from repro.util.rng import stream
 
 __all__ = [
@@ -163,11 +165,13 @@ class BudgetedEvaluator:
         cache: EvaluationCache,
         budget: int,
         trajectory: List[float],
+        telemetry: Optional[Recorder] = None,
     ) -> None:
         self._model = model
         self._cache = cache
         self._budget = budget
         self._trajectory = trajectory
+        self._telemetry = as_recorder(telemetry)
         self._reports: Dict[Tuple[int, ...], PredictionReport] = {}
 
     def _guard(self, key: Tuple[int, ...]) -> None:
@@ -202,7 +206,7 @@ class BudgetedEvaluator:
         if rep is None:
             charged = key not in self._cache
             self._guard(key)
-            rep = self._model.predict(distribution)
+            rep = self._model.predict(distribution, report=True)
             self._reports[key] = rep
             self._cache.put(key, rep.total_seconds)
             if charged:
@@ -215,9 +219,9 @@ class BudgetedEvaluator:
         The candidates are deduplicated — against the shared
         :class:`EvaluationCache` and within the batch — and only the
         *distinct misses* are charged to the budget and sent through the
-        model's vectorized :meth:`~repro.core.model.MhetaModel.\
-predict_seconds_batch` in one pass.  Repeats are cache hits, exactly as
-        if the candidates had been evaluated one at a time.
+        model's vectorized ``predict(candidates, batch=True)`` in one
+        pass.  Repeats are cache hits, exactly as if the candidates had
+        been evaluated one at a time.
 
         The budget stays a hard cap: when the distinct misses outrun the
         remaining budget, the batch is truncated at the boundary — every
@@ -240,16 +244,27 @@ predict_seconds_batch` in one pass.  Repeats are cache hits, exactly as
                 break
             first_seen[key] = i
             to_evaluate.append(dists[i])
+        rec = self._telemetry
+        if rec:
+            rec.observe("search/round_candidates", len(dists))
+            rec.observe("search/round_distinct_misses", len(to_evaluate))
         if to_evaluate:
-            batch_predict = getattr(
-                self._model, "predict_seconds_batch", None
-            )
-            if batch_predict is not None:
-                values = batch_predict(to_evaluate)
-            else:  # models without a batched path (stubs, wrappers)
-                values = [
-                    self._model.predict_seconds(d) for d in to_evaluate
-                ]
+            if isinstance(self._model, MhetaModel):
+                values = self._model.predict(to_evaluate, batch=True)
+            else:
+                # Stub and wrapper models keep working through whatever
+                # surface they expose: a (possibly legacy) batched entry
+                # point, else per-candidate calls.
+                batch_predict = getattr(
+                    self._model, "predict_seconds_batch", None
+                )
+                if batch_predict is not None:
+                    values = batch_predict(to_evaluate)
+                else:
+                    scalar = getattr(
+                        self._model, "predict", None
+                    ) or self._model.predict_seconds
+                    values = [scalar(d) for d in to_evaluate]
             self._cache.put_many(
                 [d.counts for d in to_evaluate],
                 [float(v) for v in values],
@@ -291,6 +306,15 @@ class SearchAlgorithm(abc.ABC):
     cache.  Every node always keeps at least one row (the paper's system
     uses every processor).
 
+    Every searcher shares one constructor shape — ``Searcher(model,
+    cluster=None, *, batch_size=64, seed_label="", <strategy knobs>)``
+    — and one ``search(budget, *, start, batch_size, rng, telemetry)``
+    signature returning a :class:`SearchResult`.  ``cluster`` is
+    required by strategies that exploit the cluster's structure (GBS
+    seeds from relative powers, the spectrum sweep walks its legs) and
+    accepted-and-ignored by the purely stochastic ones, so drivers can
+    construct any searcher uniformly.
+
     ``batch_size`` bounds the candidate populations a strategy scores
     per :func:`evaluate_batch` call (proposal pools, sample chunks,
     enumeration chunks); strategies whose population has a natural size
@@ -299,13 +323,21 @@ class SearchAlgorithm(abc.ABC):
 
     name = "search"
 
+    #: Set by strategies that cannot run without the cluster structure.
+    requires_cluster = False
+
     def __init__(
         self,
         model: MhetaModel,
-        seed_label: str = "",
+        cluster: Optional[ClusterSpec] = None,
+        *,
         batch_size: int = 64,
+        seed_label: str = "",
     ) -> None:
         self.model = model
+        self.cluster = cluster
+        if self.requires_cluster and cluster is None:
+            raise SearchError(f"{self.name} requires the cluster spec")
         self.n_rows = model.program.n_rows
         self.n_nodes = model.n_nodes
         if self.n_rows < self.n_nodes:
@@ -314,10 +346,13 @@ class SearchAlgorithm(abc.ABC):
             raise SearchError("batch_size must be >= 1")
         self.batch_size = int(batch_size)
         self._seed_label = seed_label or self.name
+        self._rng_override: Optional[np.random.Generator] = None
 
     # -- helpers shared by concrete searches ---------------------------------
 
     def _rng(self) -> np.random.Generator:
+        if self._rng_override is not None:
+            return self._rng_override
         return stream(
             "search",
             self._seed_label,
@@ -344,7 +379,13 @@ class SearchAlgorithm(abc.ABC):
     # -- public API ------------------------------------------------------------
 
     def search(
-        self, budget: int = 200, start: Optional[GenBlock] = None
+        self,
+        budget: int = 200,
+        *,
+        start: Optional[GenBlock] = None,
+        batch_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        telemetry: Optional[Recorder] = None,
     ) -> SearchResult:
         """Run the search with at most ``budget`` distinct evaluations.
 
@@ -352,26 +393,47 @@ class SearchAlgorithm(abc.ABC):
         distribution — including scoring the algorithm's final answer —
         goes through the budgeted evaluator, so ``result.evaluations <=
         budget`` always holds.
+
+        ``batch_size`` overrides the constructor's population bound for
+        this run; ``rng`` replaces the deterministic per-(algorithm,
+        program, shape) stream; ``telemetry`` records evaluations spent,
+        cache hits, per-round candidate counts, and the best-so-far
+        trajectory into a :class:`repro.obs.Recorder`.
         """
         if budget < 1:
             raise SearchError("budget must be >= 1")
-        cache = EvaluationCache(self.model.predict_seconds)
+        rec = as_recorder(telemetry)
+        cache = EvaluationCache(self.model.predict)
         trajectory: List[float] = []
-        evaluate = BudgetedEvaluator(self.model, cache, budget, trajectory)
+        evaluate = BudgetedEvaluator(
+            self.model, cache, budget, trajectory, telemetry=rec
+        )
+        saved_batch = self.batch_size
+        if batch_size is not None:
+            if batch_size < 1:
+                raise SearchError("batch_size must be >= 1")
+            self.batch_size = int(batch_size)
+        self._rng_override = rng
 
         best: Optional[GenBlock] = None
         try:
-            best = self._run(evaluate, start)
-        except _BudgetExhausted:
-            pass
-        if best is not None and best.counts not in cache:
-            # The algorithm answered with a distribution it never scored;
-            # score it within the remaining budget or fall back to the
-            # best cached candidate.  Never evaluation #budget+1.
-            try:
-                evaluate(best)
-            except _BudgetExhausted:
-                best = None
+            with rec.span(f"search/{self.name}"):
+                try:
+                    best = self._run(evaluate, start)
+                except _BudgetExhausted:
+                    pass
+                if best is not None and best.counts not in cache:
+                    # The algorithm answered with a distribution it never
+                    # scored; score it within the remaining budget or fall
+                    # back to the best cached candidate.  Never evaluation
+                    # #budget+1.
+                    try:
+                        evaluate(best)
+                    except _BudgetExhausted:
+                        best = None
+        finally:
+            self.batch_size = saved_batch
+            self._rng_override = None
         # The best seen so far, even if the algorithm was cut short.
         cached_best = cache.best()
         if cached_best is not None:
@@ -380,7 +442,7 @@ class SearchAlgorithm(abc.ABC):
                 best = GenBlock(key)
         if best is None:
             raise SearchError("search performed no evaluations")
-        return SearchResult(
+        result = SearchResult(
             best=best,
             predicted_seconds=cache.value(best.counts),
             evaluations=cache.evaluations,
@@ -388,6 +450,18 @@ class SearchAlgorithm(abc.ABC):
             algorithm=self.name,
             cache_hits=cache.hits,
         )
+        if rec:
+            rec.count("search/runs")
+            rec.count("search/evaluations", result.evaluations)
+            rec.count("search/cache_hits", result.cache_hits)
+            rec.set(f"search/{self.name}/budget", budget)
+            rec.set(f"search/{self.name}/budget_spent", result.evaluations)
+            rec.set(
+                f"search/{self.name}/best_seconds", result.predicted_seconds
+            )
+            for value in trajectory:
+                rec.observe("search/best_so_far", value)
+        return result
 
     @abc.abstractmethod
     def _run(

@@ -24,16 +24,20 @@ class SpectrumSweep(SearchAlgorithm):
     """Evaluate every point of the interpolated anchor path."""
 
     name = "spectrum-sweep"
+    requires_cluster = True
 
     def __init__(
         self,
         model: MhetaModel,
-        cluster: ClusterSpec,
+        cluster: Optional[ClusterSpec] = None,
+        *,
         steps_per_leg: int = 8,
         batch_size: int = 64,
+        seed_label: str = "",
     ) -> None:
-        super().__init__(model, batch_size=batch_size)
-        self.cluster = cluster
+        super().__init__(
+            model, cluster, batch_size=batch_size, seed_label=seed_label
+        )
         self.steps_per_leg = steps_per_leg
 
     def _run(

@@ -13,7 +13,7 @@ in one batched evaluation — the population goes through
 ``evaluate.batch``, which deduplicates the rounded GEN_BLOCKs (grid
 neighbours collide after integer rounding, legs share their anchor
 endpoints) and feeds the distinct misses to the model's vectorized
-``predict_seconds_batch`` in a single pass — then finish with a
+``predict(batch=True)`` in a single pass — then finish with a
 row-exchange hill climb between the predicted bottleneck node and the
 node with the most slack.  Scoring the whole grid costs the same batch
 the old two-probe bisection spread over many rounds of Python-level
@@ -41,17 +41,21 @@ class GeneralizedBinarySearch(SearchAlgorithm):
     """Batched grid search along the anchor legs plus a hill climb."""
 
     name = "gbs"
+    requires_cluster = True
 
     def __init__(
         self,
         model: MhetaModel,
-        cluster: ClusterSpec,
+        cluster: Optional[ClusterSpec] = None,
+        *,
         resolution: float = 1.0 / 64.0,
         hill_climb_steps: int = 24,
         batch_size: int = 64,
+        seed_label: str = "",
     ) -> None:
-        super().__init__(model, batch_size=batch_size)
-        self.cluster = cluster
+        super().__init__(
+            model, cluster, batch_size=batch_size, seed_label=seed_label
+        )
         self.resolution = resolution
         self.hill_climb_steps = hill_climb_steps
 
@@ -95,7 +99,9 @@ class GeneralizedBinarySearch(SearchAlgorithm):
         # Bottleneck inspection goes through the evaluator's budgeted
         # report path so the per-node breakdowns are cached and counted
         # (a bare callable, e.g. in unit tests, falls back to the model).
-        reporter = getattr(evaluate, "report", self.model.predict)
+        reporter = getattr(evaluate, "report", None)
+        if reporter is None:
+            reporter = lambda d: self.model.predict(d, report=True)  # noqa: E731
         current = start
         value = evaluate(current)
         step = max(self.n_rows // 64, 1)

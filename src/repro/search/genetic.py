@@ -6,6 +6,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.cluster.cluster import ClusterSpec
 from repro.core.model import MhetaModel
 from repro.distribution.genblock import GenBlock
 from repro.search.base import SearchAlgorithm, evaluate_batch
@@ -28,12 +29,18 @@ class GeneticSearch(SearchAlgorithm):
     def __init__(
         self,
         model: MhetaModel,
+        cluster: Optional[ClusterSpec] = None,
+        *,
         population: int = 16,
         generations: int = 12,
         mutation_rate: float = 0.3,
         mutation_strength: float = 0.15,
+        batch_size: int = 64,
+        seed_label: str = "",
     ) -> None:
-        super().__init__(model)
+        super().__init__(
+            model, cluster, batch_size=batch_size, seed_label=seed_label
+        )
         self.population = population
         self.generations = generations
         self.mutation_rate = mutation_rate

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.cluster.cluster import ClusterSpec
 from repro.core.model import MhetaModel
 from repro.distribution.genblock import GenBlock
 from repro.search.base import SearchAlgorithm, evaluate_batch
@@ -22,9 +23,17 @@ class RandomSearch(SearchAlgorithm):
     name = "random"
 
     def __init__(
-        self, model: MhetaModel, samples: int = 100, batch_size: int = 64
+        self,
+        model: MhetaModel,
+        cluster: Optional[ClusterSpec] = None,
+        *,
+        samples: int = 100,
+        batch_size: int = 64,
+        seed_label: str = "",
     ) -> None:
-        super().__init__(model, batch_size=batch_size)
+        super().__init__(
+            model, cluster, batch_size=batch_size, seed_label=seed_label
+        )
         self.samples = samples
 
     def _run(

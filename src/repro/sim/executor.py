@@ -33,7 +33,13 @@ from repro.sim.steady import (
     steady_deltas,
     supports_fast_forward,
 )
-from repro.sim.trace import EventRecord, Observer, Op
+from repro.sim.trace import (
+    EventRecord,
+    Observer,
+    Op,
+    PhaseAccumulator,
+    chain_observers,
+)
 
 __all__ = [
     "ClusterEmulator",
@@ -241,6 +247,7 @@ class ClusterEmulator:
         instrumented: bool = False,
         iterations: Optional[int] = None,
         fast_forward: Optional[bool] = None,
+        telemetry=None,
     ) -> RunResult:
         """Run the program and return timing.
 
@@ -258,6 +265,14 @@ class ClusterEmulator:
         only for unobserved, deterministic, iteration-invariant runs
         whose probe converges — everything else falls back to full
         simulation automatically.
+
+        ``telemetry`` takes a :class:`repro.obs.Recorder` and records
+        per-node phase totals (a :class:`PhaseAccumulator` chained into
+        ``_NodeCtx.observe``) plus the fast-forward decision.  The
+        accumulator does not count as an *observer* for fast-forward
+        gating — it rides along on whatever iterations are actually
+        simulated (the probe, under fast-forward), so enabling
+        telemetry never changes the simulated timing or the decision.
         """
         if distribution.n_nodes != self.cluster.n_nodes:
             raise SimulationError(
@@ -270,6 +285,12 @@ class ClusterEmulator:
                 f"has {self.program.n_rows}"
             )
         n_iter = iterations if iterations is not None else self.program.iterations
+
+        phase: Optional[PhaseAccumulator] = None
+        sim_observer = observer
+        if telemetry:
+            phase = PhaseAccumulator()
+            sim_observer = chain_observers(phase, observer)
 
         use_fast = _FAST_FORWARD_DEFAULT if fast_forward is None else fast_forward
         policy = self.fast_forward_policy
@@ -289,12 +310,37 @@ class ClusterEmulator:
             # convergence the tail extrapolates and on failure we
             # simply simulate from scratch.
             probe = self._simulate(
-                distribution, observer, instrumented, policy.probe_iterations
+                distribution, sim_observer, instrumented,
+                policy.probe_iterations,
             )
             deltas = steady_deltas(probe.iteration_ends, policy)
             if deltas is not None:
-                return self._fast_forward(probe, deltas, n_iter)
-        return self._simulate(distribution, observer, instrumented, n_iter)
+                result = self._fast_forward(probe, deltas, n_iter)
+                if telemetry:
+                    self._record_run_telemetry(telemetry, phase, result)
+                return result
+        result = self._simulate(distribution, sim_observer, instrumented, n_iter)
+        if telemetry:
+            self._record_run_telemetry(telemetry, phase, result)
+        return result
+
+    @staticmethod
+    def _record_run_telemetry(
+        rec, phase: Optional[PhaseAccumulator], result: RunResult
+    ) -> None:
+        rec.count("sim/runs")
+        rec.count(
+            "sim/fast_forwarded" if result.fast_forwarded else "sim/full_runs"
+        )
+        rec.set("sim/iterations", result.iterations)
+        rec.set("sim/total_seconds", result.total_seconds)
+        if phase is not None:
+            simulated = max(phase.iterations.values(), default=0)
+            # Under fast-forward only the probe prefix was simulated;
+            # phase totals cover those iterations (steady per-iteration
+            # means still follow by dividing by this count).
+            rec.set("sim/iterations_simulated", simulated)
+            phase.record_into(rec)
 
     def _simulate(
         self,
@@ -742,6 +788,7 @@ def emulate(
     instrumented: bool = False,
     fast_forward: Optional[bool] = None,
     cache: Union[None, bool, "object"] = None,
+    telemetry=None,
 ) -> RunResult:
     """One emulated run, memoised in the shared content-keyed run cache.
 
@@ -758,15 +805,23 @@ def emulate(
     Observed runs always bypass the cache (the observer's callbacks are
     the point of the run).  Hits return a defensive copy, so callers
     may mutate the result freely.
+
+    ``telemetry`` takes a :class:`repro.obs.Recorder`: run-cache
+    hit/miss counters land under ``sim/run_cache/``, and cache misses
+    record the run's phase telemetry (see :meth:`ClusterEmulator.run`).
+    A hit performs no simulation, so only the counters move.
     """
     emulator = ClusterEmulator(cluster, program, perturbation)
     if observer is not None or cache is False:
+        if telemetry:
+            telemetry.count("sim/run_cache/bypasses")
         return emulator.run(
             distribution,
             observer=observer,
             instrumented=instrumented,
             iterations=iterations,
             fast_forward=fast_forward,
+            telemetry=telemetry,
         )
 
     from repro.parallel.cache import RunCache, default_run_cache
@@ -785,12 +840,20 @@ def emulate(
     )
     hit = store.get(key)
     if hit is not None:
+        if telemetry:
+            telemetry.count("sim/run_cache/hits")
         return _copy_result(hit)
     result = emulator.run(
         distribution,
         instrumented=instrumented,
         iterations=iterations,
         fast_forward=fast_forward,
+        telemetry=telemetry,
     )
     store.put(key, _copy_result(result))
+    if telemetry:
+        telemetry.count("sim/run_cache/misses")
+        stats = store.stats
+        telemetry.set("sim/run_cache/size", stats.get("size", 0))
+        telemetry.set("sim/run_cache/evictions", stats.get("evictions", 0))
     return result

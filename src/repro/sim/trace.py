@@ -12,7 +12,13 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["Op", "EventRecord", "TraceCollector"]
+__all__ = [
+    "Op",
+    "EventRecord",
+    "TraceCollector",
+    "PhaseAccumulator",
+    "chain_observers",
+]
 
 
 class Op:
@@ -90,3 +96,63 @@ class TraceCollector:
         if node is None:
             return sum(r.end - r.start for r in records)
         return sum(r.end - r.start for r in records if r.node == node)
+
+
+class PhaseAccumulator:
+    """An observer that folds the event stream into per-node phase
+    totals instead of storing records.
+
+    Each record adds its duration to the ``(node, op)`` cell —
+    constant memory however long the run — and ``ITERATION_END``
+    records count completed iterations per node, so per-iteration phase
+    means are ``totals[(n, op)] / iterations[n]``.  This is what the
+    telemetry layer hangs off :attr:`_NodeCtx.observe`; unlike
+    :class:`TraceCollector` it is safe to leave attached to long runs.
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[tuple, float] = defaultdict(float)
+        self.counts: Dict[tuple, int] = defaultdict(int)
+        self.iterations: Dict[int, int] = defaultdict(int)
+
+    def __call__(self, record: EventRecord) -> None:
+        key = (record.node, record.op)
+        self.totals[key] += record.end - record.start
+        self.counts[key] += 1
+        if record.op == Op.ITERATION_END:
+            self.iterations[record.node] += 1
+
+    def record_into(self, rec, prefix: str = "sim") -> None:
+        """Dump the accumulated phases into a ``repro.obs`` recorder:
+        per-node gauges (``sim/node0/read/seconds``), per-op aggregate
+        counters, and per-node iteration counts."""
+        per_op_seconds: Dict[str, float] = defaultdict(float)
+        per_op_events: Dict[str, int] = defaultdict(int)
+        for (node, op), seconds in sorted(self.totals.items()):
+            events = self.counts[(node, op)]
+            rec.set(f"{prefix}/node{node}/{op}/seconds", seconds)
+            rec.count(f"{prefix}/node{node}/{op}/events", events)
+            per_op_seconds[op] += seconds
+            per_op_events[op] += events
+        for op, seconds in sorted(per_op_seconds.items()):
+            rec.observe(
+                f"{prefix}/phase/{op}", seconds, per_op_events[op]
+            )
+        for node, iters in sorted(self.iterations.items()):
+            rec.set(f"{prefix}/node{node}/iterations", iters)
+
+
+def chain_observers(*observers: Optional[Observer]) -> Optional[Observer]:
+    """Compose observers into one callback (``None`` entries dropped);
+    returns the single survivor unwrapped, or ``None`` when empty."""
+    live = [obs for obs in observers if obs is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def chained(record: EventRecord) -> None:
+        for obs in live:
+            obs(record)
+
+    return chained

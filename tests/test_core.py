@@ -313,7 +313,7 @@ class TestMhetaModelExactness:
 class TestMhetaModelApi:
     def test_predict_report_fields(self, base_cluster, jacobi_like):
         model = ideal_model(base_cluster, jacobi_like)
-        report = model.predict(block(base_cluster, jacobi_like.n_rows))
+        report = model.predict(block(base_cluster, jacobi_like.n_rows), report=True)
         assert report.total_seconds > 0
         assert report.iterations == jacobi_like.iterations
         assert len(report.nodes) == 8
@@ -322,21 +322,19 @@ class TestMhetaModelApi:
     def test_report_totals_consistent(self, base_cluster, jacobi_like):
         model = ideal_model(base_cluster, jacobi_like)
         d = block(base_cluster, jacobi_like.n_rows)
-        report = model.predict(d)
-        assert report.total_seconds == pytest.approx(
-            model.predict_seconds(d)
-        )
+        report = model.predict(d, report=True)
+        assert report.total_seconds == pytest.approx(model.predict(d))
 
     def test_report_breakdown_sums_to_iteration(self, base_cluster, jacobi_like):
         model = ideal_model(base_cluster, jacobi_like)
-        report = model.predict(block(base_cluster, jacobi_like.n_rows))
+        report = model.predict(block(base_cluster, jacobi_like.n_rows), report=True)
         for node in report.nodes:
             parts = sum(s.total for s in node.sections)
             assert parts == pytest.approx(node.iteration_seconds, rel=1e-6)
 
     def test_describe_renders(self, base_cluster, jacobi_like):
         model = ideal_model(base_cluster, jacobi_like)
-        report = model.predict(block(base_cluster, jacobi_like.n_rows))
+        report = model.predict(block(base_cluster, jacobi_like.n_rows), report=True)
         text = report.describe()
         assert "bottleneck" in text
         assert "node" in text
@@ -344,7 +342,7 @@ class TestMhetaModelApi:
     def test_component_totals(self, base_cluster, jacobi_like):
         model = ideal_model(base_cluster, jacobi_like)
         totals = model.predict(
-            block(base_cluster, jacobi_like.n_rows)
+            block(base_cluster, jacobi_like.n_rows), report=True
         ).component_totals()
         assert set(totals) == {"compute", "io", "comm"}
         assert totals["compute"] > 0

@@ -117,8 +117,8 @@ def test_golden_equivalence_report_totals():
     program = ConjugateGradientApp.paper(SCALE).structure
     scalar, vector = _model_pair(cluster, program)
     for dist in _candidates(cluster, program)[:4]:
-        rs = scalar.predict(dist)
-        rv = vector.predict(dist)
+        rs = scalar.predict(dist, report=True)
+        rv = vector.predict(dist, report=True)
         _assert_close(rs.total_seconds, rv.total_seconds)
         for ns, nv in zip(rs.nodes, rv.nodes):
             _assert_close(ns.total_seconds, nv.total_seconds)

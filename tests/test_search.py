@@ -191,18 +191,33 @@ class _CountingModel:
     def predict_seconds(self, distribution, iterations=None):
         key = distribution.counts
         self.scalar_calls[key] = self.scalar_calls.get(key, 0) + 1
-        return self._model.predict_seconds(distribution, iterations)
+        return self._model.predict(distribution, iterations)
 
     def predict_seconds_batch(self, distributions, iterations=None):
         for distribution in distributions:
             key = distribution.counts
             self.scalar_calls[key] = self.scalar_calls.get(key, 0) + 1
-        return self._model.predict_seconds_batch(distributions, iterations)
+        return self._model.predict(distributions, iterations, batch=True)
 
-    def predict(self, distribution, iterations=None):
+    def predict(
+        self,
+        distribution,
+        iterations=None,
+        *,
+        batch=False,
+        report=False,
+        telemetry=None,
+    ):
+        if batch:
+            return self.predict_seconds_batch(distribution, iterations)
         key = distribution.counts
-        self.report_calls[key] = self.report_calls.get(key, 0) + 1
-        return self._model.predict(distribution, iterations)
+        if report:
+            self.report_calls[key] = self.report_calls.get(key, 0) + 1
+        else:
+            self.scalar_calls[key] = self.scalar_calls.get(key, 0) + 1
+        return self._model.predict(
+            distribution, iterations, report=report, telemetry=telemetry
+        )
 
 
 class TestGbsEvaluationAccounting:
