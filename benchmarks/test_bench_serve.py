@@ -1,0 +1,292 @@
+"""Bench S1: serve-mode load — the coordinator under concurrent fire.
+
+PR 6 turned the call-per-use library stack into a resident advisor
+service (``repro serve``): an asyncio coordinator micro-batches
+concurrent queries into shared ``predict(batch=True)`` passes and
+shared search rounds, keeping the model / table / evaluation caches
+warm across requests.  This benchmark measures that claim end to end:
+
+* ``SERVE_BENCH_QUERIES`` predict queries (default 1200, env-overridable
+  for CI's reduced load) cycling a pool of distinct candidates, fired
+  simultaneously from ``SERVE_BENCH_CLIENTS`` pipelined connections
+  against a real loopback server — per-query latency (p50/p90/p99),
+  queries/sec, and the coalescing ratio from the server's own telemetry
+  counters;
+* a burst of identical ``search`` queries that must collapse to one
+  in-flight run;
+* equivalence: every served answer must match its one-shot library
+  counterpart (``model.predict`` / ``GeneralizedBinarySearch``) to
+  <= 1e-12 relative.
+
+It writes the machine-readable scoreboard ``BENCH_serve.json`` at the
+repo root.  The hard acceptance gates — enforced here *and* in CI —
+are a minimum coalescing ratio and a p99 latency ceiling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.apps import application_by_name
+from repro.cluster import table1_configs
+from repro.distribution import GenBlock, balanced
+from repro.experiments import build_model
+from repro.obs import Recorder
+from repro.search import GeneralizedBinarySearch
+from repro.serve import AsyncServeClient, ServeCoordinator
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+#: Load shape.  CI runs a reduced load via SERVE_BENCH_QUERIES; the
+#: committed scoreboard records the full default run.
+N_QUERIES = int(os.environ.get("SERVE_BENCH_QUERIES", "1200"))
+N_CLIENTS = int(os.environ.get("SERVE_BENCH_CLIENTS", "16"))
+POOL_SIZE = 24
+N_SEARCHES = 8
+
+APP, CONFIG, SCALE = "jacobi", "HY1", 0.05
+SEARCH_BUDGET = 40
+
+#: Acceptance floor: at least this fraction of load submissions must be
+#: answered by a computation they shared with another request.
+REQUIRED_COALESCING = 0.25
+
+#: Acceptance ceiling on p99 request latency under full load.  Mostly a
+#: liveness gate — the batched rounds answer from warm caches, so even
+#: slow CI machines clear this by a wide margin.
+REQUIRED_P99_S = 5.0
+
+#: Served answers must match their one-shot library counterpart.
+EQUIVALENCE_RTOL = 1e-12
+
+
+def _candidate_pool(cluster, program):
+    """Distinct valid row distributions: balanced plus deterministic
+    moves of k rows off node 0, mirroring what an advisor fleet asks."""
+    base = list(balanced(cluster, program.n_rows).counts)
+    n = len(base)
+    pool = [base]
+    k = 1
+    while len(pool) < POOL_SIZE and base[0] - k >= 1:
+        counts = list(base)
+        counts[0] -= k
+        counts[1 + (k % (n - 1))] += k
+        if counts not in pool:
+            pool.append(counts)
+        k += 1
+    return pool
+
+
+def _counter(snapshot, name):
+    return snapshot["counters"].get(name, 0)
+
+
+def _percentile(sorted_values, q):
+    return sorted_values[int(q * (len(sorted_values) - 1))]
+
+
+async def _drive_load(coordinator, address, pool):
+    """Fire N_QUERIES pipelined predicts at the bound server and return
+    (latencies, wall_seconds, results_by_candidate, counter deltas)."""
+    clients = [
+        await AsyncServeClient.open(port=address[1]) for _ in range(N_CLIENTS)
+    ]
+    try:
+        # Pre-warm the model outside the timed window: building it
+        # instruments an iteration, which would dominate the profile.
+        await clients[0].predict(APP, config=CONFIG, scale=SCALE,
+                                 counts=pool[0])
+        before = coordinator.telemetry.snapshot()
+        latencies = [0.0] * N_QUERIES
+        answers = [None] * N_QUERIES
+
+        async def one(i):
+            client = clients[i % N_CLIENTS]
+            counts = pool[i % len(pool)]
+            started = time.perf_counter()
+            answers[i] = await client.predict(
+                APP, config=CONFIG, scale=SCALE, counts=counts
+            )
+            latencies[i] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        await asyncio.gather(*[one(i) for i in range(N_QUERIES)])
+        wall = time.perf_counter() - started
+        after = coordinator.telemetry.snapshot()
+
+        # Identical concurrent searches must collapse to one run.
+        searches = await asyncio.gather(*[
+            clients[i % N_CLIENTS].search(
+                APP, config=CONFIG, scale=SCALE,
+                algorithm="gbs", budget=SEARCH_BUDGET,
+            )
+            for i in range(N_SEARCHES)
+        ])
+        final = coordinator.telemetry.snapshot()
+    finally:
+        for client in clients:
+            await client.aclose()
+    return latencies, wall, answers, searches, before, after, final
+
+
+def test_serve_load(save_result):
+    cluster = table1_configs()[CONFIG]
+    program = application_by_name(APP, SCALE).structure
+    reference = build_model(cluster, program)
+    pool = _candidate_pool(cluster, program)
+
+    telemetry = Recorder()
+    coordinator = ServeCoordinator(telemetry=telemetry)
+
+    async def main():
+        handle = await coordinator.start(port=0)
+        try:
+            async with handle.server:
+                await handle.server.start_serving()
+                return await _drive_load(
+                    coordinator, (handle.host, handle.port), pool
+                )
+        finally:
+            await coordinator.aclose()
+
+    latencies, wall, answers, searches, before, after, final = asyncio.run(
+        main()
+    )
+
+    # -- latency / throughput ------------------------------------------------
+    latencies.sort()
+    p50 = _percentile(latencies, 0.50)
+    p90 = _percentile(latencies, 0.90)
+    p99 = _percentile(latencies, 0.99)
+    qps = N_QUERIES / wall
+
+    # -- coalescing, from the server's own counters --------------------------
+    requests = _counter(after, "serve/requests") - _counter(
+        before, "serve/requests"
+    )
+    coalesced = _counter(after, "serve/coalesced") - _counter(
+        before, "serve/coalesced"
+    )
+    batches = _counter(after, "serve/batches") - _counter(
+        before, "serve/batches"
+    )
+    kernel_evals = _counter(after, "serve/kernel_evaluations") - _counter(
+        before, "serve/kernel_evaluations"
+    )
+    eval_cache_hits = _counter(after, "serve/eval_cache_hits") - _counter(
+        before, "serve/eval_cache_hits"
+    )
+    ratio = coalesced / requests if requests else 0.0
+    search_coalesced = _counter(final, "serve/search_coalesced")
+    search_result_hits = _counter(final, "serve/search_result_hits")
+
+    # -- equivalence vs. the one-shot library path ---------------------------
+    max_rel = 0.0
+    for counts in pool:
+        want = float(reference.predict(GenBlock(counts)))
+        got = {
+            a["predicted_seconds"] for a in answers
+            if a["counts"] == counts
+        }
+        assert len(got) == 1, "served answers for one candidate disagree"
+        max_rel = max(max_rel, abs(got.pop() - want) / want)
+
+    one_shot = GeneralizedBinarySearch(reference, cluster).search(
+        budget=SEARCH_BUDGET
+    )
+    search_rel = max(
+        abs(s["predicted_seconds"] - one_shot.predicted_seconds)
+        / one_shot.predicted_seconds
+        for s in searches
+    )
+    assert all(s["counts"] == list(one_shot.best.counts) for s in searches)
+
+    payload = {
+        "workload": {
+            "app": APP,
+            "config": CONFIG,
+            "scale": SCALE,
+            "n_queries": N_QUERIES,
+            "n_clients": N_CLIENTS,
+            "candidate_pool": len(pool),
+            "n_searches": N_SEARCHES,
+            "search_budget": SEARCH_BUDGET,
+        },
+        "load": {
+            "wall_seconds": wall,
+            "queries_per_second": qps,
+            "latency_ms": {
+                "p50": p50 * 1e3,
+                "p90": p90 * 1e3,
+                "p99": p99 * 1e3,
+                "max": latencies[-1] * 1e3,
+            },
+        },
+        "coalescing": {
+            "requests": requests,
+            "coalesced": coalesced,
+            "ratio": ratio,
+            "batches": batches,
+            "kernel_evaluations": kernel_evals,
+            "eval_cache_hits": eval_cache_hits,
+            "search_coalesced": search_coalesced,
+            "search_result_hits": search_result_hits,
+            "required_ratio": REQUIRED_COALESCING,
+        },
+        "equivalence": {
+            "predict_max_rel_diff": max_rel,
+            "search_max_rel_diff": search_rel,
+            "required_rtol": EQUIVALENCE_RTOL,
+        },
+        "gates": {"required_p99_s": REQUIRED_P99_S},
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    JSON_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    save_result(
+        "serve_load",
+        "\n".join([
+            f"Serve load ({N_QUERIES} concurrent predicts over "
+            f"{N_CLIENTS} pipelined connections, {len(pool)} distinct "
+            f"candidates, {APP} on {CONFIG} at scale {SCALE}):",
+            f"  throughput: {qps:,.0f} queries/s "
+            f"({wall * 1e3:.0f} ms wall)",
+            f"  latency: p50 {p50 * 1e3:.1f} ms, p90 {p90 * 1e3:.1f} ms, "
+            f"p99 {p99 * 1e3:.1f} ms",
+            f"  coalescing: {coalesced}/{requests} submissions shared "
+            f"({ratio:.0%}) across {batches} batched passes; "
+            f"{kernel_evals} kernel evaluations, "
+            f"{eval_cache_hits} eval-cache hits",
+            f"  search: {N_SEARCHES} identical queries -> "
+            f"{search_coalesced} coalesced + {search_result_hits} "
+            "result-cache hits (one run)",
+            f"  equivalence: predict {max_rel:.1e}, search "
+            f"{search_rel:.1e} rel vs. one-shot "
+            f"(required <= {EQUIVALENCE_RTOL:.0e})",
+            f"  gates: coalescing >= {REQUIRED_COALESCING:.0%}, "
+            f"p99 <= {REQUIRED_P99_S:.0f} s",
+        ]),
+    )
+
+    # The hard acceptance gates, mirrored in CI.
+    assert requests >= N_QUERIES
+    assert ratio >= REQUIRED_COALESCING, (
+        f"coalescing ratio {ratio:.2%} below required "
+        f"{REQUIRED_COALESCING:.0%}"
+    )
+    assert p99 <= REQUIRED_P99_S, f"p99 {p99:.2f}s above {REQUIRED_P99_S}s"
+    assert max_rel <= EQUIVALENCE_RTOL
+    assert search_rel <= EQUIVALENCE_RTOL
+    # One search ran; the other seven shared it.
+    assert search_coalesced + search_result_hits == N_SEARCHES - 1

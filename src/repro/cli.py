@@ -16,7 +16,11 @@ any Python:
 * ``ablation``    — the error-source ablation;
 * ``robustness``  — the non-dedicated-environment study;
 * ``stats``       — one instrumented seed run dumping the full
-  telemetry surface (phase breakdown, cache and search counters).
+  telemetry surface (phase breakdown, cache and search counters);
+* ``serve``       — the always-on distribution-advisor service
+  (asyncio coordinator, micro-batched concurrent queries, warm
+  caches);
+* ``query``       — client for a running ``serve`` instance.
 
 Every command takes ``--scale`` (default 0.1: seconds of wall time;
 ``--scale 1.0`` is paper scale).  ``sweep``, ``predict``, ``search``,
@@ -273,7 +277,86 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel(p)
     _add_telemetry(p)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on distribution-advisor service",
+    )
+    _add_endpoint(p)
+    p.add_argument(
+        "--window-ms", type=float, default=2.0, metavar="MS",
+        help="micro-batch gather window: concurrent queries arriving "
+        "within it share one vectorized model pass (default 2 ms)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=256, metavar="N",
+        help="distinct queries per shared pass before an early flush",
+    )
+    p.add_argument(
+        "--batch-mode", choices=("vector", "serial"), default="vector",
+        help="score coalesced rounds with the vectorized kernel "
+        "(<= 1e-12 relative vs one-shot predict; default) or the "
+        "bit-identical serial path",
+    )
+    p.add_argument(
+        "--model-cache", type=int, default=16, metavar="N",
+        help="resident (app, config, scale, kernel) models kept warm",
+    )
+    p.add_argument(
+        "--sweep-cache", default=None, metavar="PATH",
+        help="on-disk (actual, predicted) tier shared by a fleet of "
+        "server processes (merge-on-save, atomic writes)",
+    )
+    p.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="exit after handling N requests (smoke tests / CI)",
+    )
+    _add_jobs(p)
+    _add_kernel(p)
+    _add_telemetry(p)
+    p.add_argument(
+        "--no-fast-forward", action="store_true",
+        help="disable the emulator fast path for verify queries",
+    )
+
+    p = sub.add_parser(
+        "query",
+        help="query a running `repro serve` instance",
+    )
+    p.add_argument(
+        "op", choices=("predict", "search", "verify", "stats", "ping",
+                       "shutdown"),
+    )
+    p.add_argument("app", nargs="?", choices=APPS)
+    p.add_argument("--dist", default=None, help=f"one of {ANCHORS}")
+    p.add_argument(
+        "--counts", default=None, metavar="N,N,...",
+        help="explicit GEN_BLOCK row counts (overrides --dist)",
+    )
+    p.add_argument("--config", default="HY1", help=f"configuration {CONFIGS}")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--algorithm", choices=ALGORITHMS, default="gbs")
+    p.add_argument("--budget", type=int, default=150)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument(
+        "--json", action="store_true", help="print the raw result JSON"
+    )
+    _add_endpoint(p)
+
     return parser
+
+
+def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind/connect address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=7421,
+        help="TCP port (serve: 0 picks a free one)",
+    )
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix-domain socket path (overrides --host/--port)",
+    )
 
 
 def _cmd_sweep(args) -> str:
@@ -495,6 +578,117 @@ def _cmd_stats(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args) -> str:
+    """Run the advisor service until a ``shutdown`` query (or
+    ``--max-requests``) stops it; returns the final telemetry dump."""
+    import asyncio
+
+    from repro.serve import ServeCoordinator
+
+    rec = Recorder()
+    from repro.parallel import SweepCache
+
+    cache = SweepCache(args.sweep_cache) if args.sweep_cache else None
+    coordinator = ServeCoordinator(
+        kernel=args.kernel,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        batch_mode=args.batch_mode,
+        jobs=args.jobs,
+        sweep_cache=cache,
+        model_cache_entries=args.model_cache,
+        telemetry=rec,
+    )
+
+    async def _run() -> None:
+        handle = await coordinator.start(
+            host=args.host, port=args.port, socket_path=args.socket
+        )
+        print(f"repro serve: listening on {handle.address}", flush=True)
+        if args.max_requests is not None:
+
+            async def _watch() -> None:
+                while coordinator.requests_handled < args.max_requests:
+                    await asyncio.sleep(0.01)
+                coordinator.request_shutdown()
+
+            watcher = asyncio.ensure_future(_watch())
+            try:
+                await handle.serve_until_shutdown()
+            finally:
+                watcher.cancel()
+        else:
+            await handle.serve_until_shutdown()
+
+    asyncio.run(_run())
+    out = (
+        f"repro serve: stopped after "
+        f"{coordinator.requests_handled} requests"
+    )
+    if getattr(args, "telemetry", None):
+        out = out + "\n\n" + _render_telemetry(rec, args)
+    return out
+
+
+def _cmd_query(args) -> str:
+    import json as _json
+
+    from repro.serve import ServeClient
+
+    payload = {"op": args.op}
+    if args.op in ("predict", "search", "verify"):
+        if not args.app:
+            raise SystemExit(f"op {args.op!r} requires an app {APPS}")
+        payload.update(
+            app=args.app, config=args.config.upper(), scale=args.scale
+        )
+        if args.op == "search":
+            payload.update(
+                algorithm=args.algorithm,
+                budget=args.budget,
+                batch_size=args.batch_size,
+            )
+        elif args.counts is not None:
+            payload["counts"] = [
+                int(c) for c in args.counts.split(",") if c.strip()
+            ]
+        else:
+            payload["dist"] = args.dist or "blk"
+    client = ServeClient(
+        host=args.host, port=args.port, socket_path=args.socket
+    )
+    try:
+        result = client.request(payload)
+    finally:
+        client.close()
+    if args.json:
+        return _json.dumps(result, indent=2, sort_keys=True)
+    if args.op == "ping":
+        return f"pong (protocol v{result['version']})"
+    if args.op == "shutdown":
+        return "server stopping"
+    if args.op == "stats":
+        return _json.dumps(result, indent=2, sort_keys=True)
+    lines = [
+        f"{result['app']} on {result['config']}: "
+        f"predicted {result['predicted_seconds']:.6f}s"
+    ]
+    if args.op == "search":
+        lines.append(
+            f"{result['algorithm']}: best {result['counts']} after "
+            f"{result['evaluations']} evaluations "
+            f"({result['cache_hits']} cache hits)"
+        )
+    else:
+        lines.append(f"counts: {result['counts']}")
+    if "actual_seconds" in result:
+        lines.append(
+            f"actual (emulated): {result['actual_seconds']:.6f}s -> "
+            f"error {result['error_percent']:.2f}%"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "no_fast_forward", False):
@@ -546,6 +740,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(dedicated_assumption_study(scale=args.scale).describe())
     elif args.command == "stats":
         print(_cmd_stats(args))
+    elif args.command == "serve":
+        print(_cmd_serve(args))
+    elif args.command == "query":
+        print(_cmd_query(args))
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

@@ -17,6 +17,7 @@ __all__ = [
     "ModelError",
     "SearchError",
     "ExperimentError",
+    "ServeError",
 ]
 
 
@@ -59,3 +60,8 @@ class ExperimentError(ReproError):
     """An experiment produced degenerate data (e.g. a non-positive
     execution time, which would make the paper's error metric
     meaningless)."""
+
+
+class ServeError(ReproError):
+    """A malformed advisor-service request, a protocol violation, or a
+    failure reported by the server for one query."""

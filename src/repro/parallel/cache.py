@@ -23,6 +23,9 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
+import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -31,6 +34,11 @@ import numpy as np
 from repro.util.lru import LRUCache
 
 __all__ = ["SweepCache", "RunCache", "content_key", "default_run_cache"]
+
+#: Miss marker for store lookups (a stored pair is never ``None``, but
+#: detecting absence by sentinel keeps lookup semantics uniform with
+#: :class:`repro.util.lru.LRUCache`).
+_MISS = object()
 
 
 def _canonical(obj: Any) -> Any:
@@ -92,14 +100,27 @@ class SweepCache:
     ----------
     path:
         Optional JSON file for on-disk persistence.  If it exists it is
-        loaded eagerly; :meth:`save` writes the merged contents back, so
-        repeated benchmark/CLI invocations skip redundant emulation.
+        loaded eagerly; :meth:`save` writes the merged contents back
+        (what is on disk now — including entries another process wrote
+        since load — merged with this cache's entries) atomically, so
+        repeated benchmark/CLI invocations skip redundant emulation and
+        a fleet of processes can share one history file.
     max_entries:
         Optional bound on the in-memory store.  When set, the cache
         keeps only the ``max_entries`` most recently used pairs
         (least-recently-used eviction), so unattended long-running
         sweeps hold memory at a fixed ceiling; ``None`` (default) keeps
         everything, as before.
+
+    Hit/miss accounting has one source of truth: the backing
+    :class:`~repro.util.lru.LRUCache` counters when the store is
+    bounded, the cache's own counters otherwise — ``hits``/``misses``
+    read whichever applies, so telemetry and ``repro stats`` can never
+    report two disagreeing figures for the same cache.
+
+    All operations (and the read-merge-write in :meth:`save`) run under
+    an ``RLock``, so one cache may be shared between the serving
+    coordinator's event loop and its executor thread.
     """
 
     def __init__(
@@ -108,23 +129,56 @@ class SweepCache:
         max_entries: Optional[int] = None,
     ) -> None:
         self.path = Path(path) if path is not None else None
+        self._lock = threading.RLock()
         self._store: Union[Dict[str, Tuple[float, float]], LRUCache]
         if max_entries is None:
             self._store = {}
         else:
-            self._store = LRUCache(max_entries)
-        self.hits = 0
-        self.misses = 0
+            self._store = LRUCache(max_entries, threadsafe=True)
+        self._hits = 0
+        self._misses = 0
         if self.path is not None and self.path.exists():
+            for k, pair in self._read_disk().items():
+                self._put(k, pair)
+
+    def _read_disk(self) -> Dict[str, Tuple[float, float]]:
+        """Parse the on-disk file (empty mapping when unreadable — a
+        half-written file from a pre-atomic-write version must not brick
+        every later run)."""
+        try:
             raw = json.loads(self.path.read_text(encoding="utf-8"))
-            for k, (a, p) in raw.items():
-                self._put(k, (float(a), float(p)))
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return {k: (float(a), float(p)) for k, (a, p) in raw.items()}
 
     def _put(self, key: str, pair: Tuple[float, float]) -> None:
         if isinstance(self._store, LRUCache):
             self._store.put(key, pair)
         else:
             self._store[key] = pair
+
+    @property
+    def hits(self) -> int:
+        """Lookup hits — delegated to the LRU when the store is bounded."""
+        if isinstance(self._store, LRUCache):
+            return self._store.hits
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookup misses — delegated to the LRU when the store is bounded."""
+        if isinstance(self._store, LRUCache):
+            return self._store.misses
+        return self._misses
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot (one consistent source of truth)."""
+        return {
+            "size": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
     def __len__(self) -> int:
         return len(self._store)
@@ -138,15 +192,23 @@ class SweepCache:
     def lookup(
         self, cluster, program, distribution, perturbation=None
     ) -> Optional[Tuple[float, float]]:
-        """Return the cached ``(actual, predicted)`` pair, or ``None``."""
-        pair = self._store.get(
-            self.key(cluster, program, distribution, perturbation)
-        )
-        if pair is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return pair
+        """Return the cached ``(actual, predicted)`` pair, or ``None``.
+
+        A bounded store counts the hit/miss itself (that *is* the
+        authoritative counter, see the class docstring); the unbounded
+        dict path counts here.
+        """
+        key = self.key(cluster, program, distribution, perturbation)
+        with self._lock:
+            pair = self._store.get(key, _MISS)
+            if isinstance(self._store, LRUCache):
+                # LRUCache.get already counted; normalise the sentinel.
+                return None if pair is _MISS else pair
+            if pair is _MISS:
+                self._misses += 1
+                return None
+            self._hits += 1
+            return pair
 
     def store(
         self,
@@ -157,21 +219,50 @@ class SweepCache:
         predicted: float,
         perturbation=None,
     ) -> None:
-        self._put(
-            self.key(cluster, program, distribution, perturbation),
-            (float(actual), float(predicted)),
-        )
+        with self._lock:
+            self._put(
+                self.key(cluster, program, distribution, perturbation),
+                (float(actual), float(predicted)),
+            )
 
     def save(self) -> None:
-        """Persist to ``path`` (no-op for purely in-memory caches)."""
+        """Persist to ``path`` (no-op for purely in-memory caches).
+
+        The write is a read-merge-replace: entries another process wrote
+        to the file since this cache loaded it are re-read and kept
+        (this cache's pairs win on key collisions — the pairs are
+        deterministic, so colliding values agree anyway), and the merged
+        payload lands via a same-directory temp file + :func:`os.replace`,
+        so a crash mid-write can never leave a truncated file and two
+        processes saving interleaved lose nothing.
+        """
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {k: list(v) for k, v in sorted(self._store.items())}
-        self.path.write_text(
-            json.dumps(payload, indent=0, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            merged: Dict[str, Tuple[float, float]] = {}
+            if self.path.exists():
+                merged.update(self._read_disk())
+            merged.update(
+                (k, (float(v[0]), float(v[1])))
+                for k, v in self._store.items()
+            )
+            payload = {k: list(v) for k, v in sorted(merged.items())}
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(
+                        json.dumps(payload, indent=0, sort_keys=True) + "\n"
+                    )
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
 
 class RunCache:

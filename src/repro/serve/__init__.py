@@ -1,0 +1,51 @@
+"""The always-on distribution-advisor service (``repro serve``).
+
+MHETA's point is that the model is fast enough to consult *on the fly*
+— a batched candidate costs tens of microseconds — but a one-shot CLI
+or library call pays model construction, cold caches and process
+start-up every time.  This package keeps all of that resident:
+
+* :class:`~repro.serve.coordinator.ServeCoordinator` — the asyncio
+  coordinator holding warm models and caches, micro-batching
+  concurrent queries into shared vectorised passes;
+* :class:`~repro.serve.batcher.MicroBatcher` — the gather-window
+  request coalescer;
+* :mod:`~repro.serve.protocol` — the newline-delimited-JSON wire
+  format and query validation;
+* :class:`~repro.serve.client.ServeClient` /
+  :class:`~repro.serve.client.AsyncServeClient` — blocking and
+  pipelining clients (``repro query`` uses the former; the load
+  benchmark drives thousands of concurrent queries with the latter).
+
+Quick start::
+
+    # terminal 1
+    $ python -m repro serve --socket /tmp/mheta.sock
+
+    # terminal 2
+    $ python -m repro query predict jacobi --socket /tmp/mheta.sock
+    $ python -m repro query search cg --algorithm gbs --budget 150 \\
+          --socket /tmp/mheta.sock
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.coordinator import ServeCoordinator, ServerHandle
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    Query,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "AsyncServeClient",
+    "MicroBatcher",
+    "PROTOCOL_VERSION",
+    "Query",
+    "ServeClient",
+    "ServeCoordinator",
+    "ServerHandle",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,173 @@
+"""Micro-batching request collector for the advisor coordinator.
+
+The service's throughput lever is the same one the search layer pulls:
+one vectorised ``predict(batch=True)`` pass over ``B`` candidates costs
+far less than ``B`` scalar calls.  The :class:`MicroBatcher` turns the
+request stream into such passes: the first submission of a round opens
+a short *gather window* (default 2 ms); everything arriving inside the
+window joins the round; when the window closes (or the round hits
+``max_batch`` distinct keys) the whole round is flushed through one
+handler call.
+
+Coalescing is by key: submissions sharing a
+:meth:`~repro.serve.protocol.Query.coalesce_key` are answered by a
+*single* computation — every waiter gets the same result object.  The
+telemetry story (all under ``serve/``):
+
+* ``serve/requests`` — submissions accepted;
+* ``serve/batches`` — handler flushes;
+* ``serve/coalesced`` — submissions answered without their own
+  computation (duplicates within a round);
+* ``serve/batch_distinct`` / ``serve/batch_requests`` — per-round
+  series of distinct keys vs. total waiters;
+* ``serve/queue_depth`` — gauge of pending distinct keys, sampled at
+  each submission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import Recorder, as_recorder
+
+__all__ = ["MicroBatcher"]
+
+
+class _Pending:
+    """One distinct key's round state: the payload to compute and every
+    future waiting on the answer."""
+
+    __slots__ = ("payload", "futures")
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+        self.futures: List[asyncio.Future] = []
+
+
+class MicroBatcher:
+    """Coalesce concurrent submissions into shared handler flushes.
+
+    Parameters
+    ----------
+    flush:
+        ``async (payloads: List) -> List`` — computes one result per
+        *distinct* payload, in order.  A returned ``BaseException``
+        instance fails that payload's waiters only (how the coordinator
+        keeps one malformed query from poisoning its round); a *raised*
+        exception fails every waiter of the round.  Either way the
+        batcher stays usable.
+    window_seconds:
+        Gather window opened by the first submission of a round.  ``0``
+        still yields once through the event loop, so truly concurrent
+        submitters coalesce even with no added latency.
+    max_batch:
+        Distinct-key ceiling per round; reaching it flushes immediately.
+    """
+
+    def __init__(
+        self,
+        flush: Callable[[List[Any]], Awaitable[List[Any]]],
+        *,
+        window_seconds: float = 0.002,
+        max_batch: int = 256,
+        telemetry: Optional[Recorder] = None,
+    ) -> None:
+        if window_seconds < 0:
+            raise ValueError("window_seconds must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._flush = flush
+        self.window_seconds = float(window_seconds)
+        self.max_batch = int(max_batch)
+        self.telemetry = as_recorder(telemetry)
+        self._pending: Dict[Any, _Pending] = {}
+        self._flusher: Optional[asyncio.Task] = None
+
+    async def submit(self, key: Any, payload: Any) -> Any:
+        """Join the current round (opening one if needed); resolves to
+        the result of ``payload``'s computation once the round flushes."""
+        rec = self.telemetry
+        loop = asyncio.get_running_loop()
+        entry = self._pending.get(key)
+        if entry is None:
+            entry = _Pending(payload)
+            self._pending[key] = entry
+        elif rec:
+            rec.count("serve/coalesced")
+        future: asyncio.Future = loop.create_future()
+        entry.futures.append(future)
+        if rec:
+            rec.count("serve/requests")
+            rec.set("serve/queue_depth", len(self._pending))
+        if len(self._pending) >= self.max_batch:
+            self._flush_now()
+        elif self._flusher is None:
+            self._flusher = asyncio.ensure_future(self._window())
+        return await future
+
+    async def _window(self) -> None:
+        await asyncio.sleep(self.window_seconds)
+        self._flusher = None
+        await self._run_round(self._take())
+    # asyncio.sleep(0) yields at least once, so a zero window still
+    # gathers everything already sitting on the loop's ready queue.
+
+    def _flush_now(self) -> None:
+        """Hit the max_batch ceiling: detach the full round and flush it
+        without waiting for the window timer (which is cancelled)."""
+        if self._flusher is not None:
+            self._flusher.cancel()
+            self._flusher = None
+        asyncio.ensure_future(self._run_round(self._take()))
+
+    def _take(self) -> List[Tuple[Any, _Pending]]:
+        round_ = list(self._pending.items())
+        self._pending.clear()
+        return round_
+
+    async def _run_round(self, round_: List[Tuple[Any, _Pending]]) -> None:
+        if not round_:
+            return
+        rec = self.telemetry
+        if rec:
+            rec.count("serve/batches")
+            rec.observe("serve/batch_distinct", len(round_))
+            rec.observe(
+                "serve/batch_requests",
+                sum(len(e.futures) for _, e in round_),
+            )
+        try:
+            results = await self._flush([e.payload for _, e in round_])
+        except Exception as exc:  # noqa: BLE001 - fanned out to waiters
+            for _, entry in round_:
+                for future in entry.futures:
+                    if not future.done():
+                        future.set_exception(exc)
+            return
+        if len(results) != len(round_):
+            exc = RuntimeError(
+                f"flush returned {len(results)} results for "
+                f"{len(round_)} distinct payloads"
+            )
+            for _, entry in round_:
+                for future in entry.futures:
+                    if not future.done():
+                        future.set_exception(exc)
+            return
+        for (_, entry), result in zip(round_, results):
+            for future in entry.futures:
+                if future.done():
+                    continue
+                if isinstance(result, BaseException):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush anything pending and wait for it (shutdown path)."""
+        while self._pending or self._flusher is not None:
+            if self._flusher is not None:
+                self._flusher.cancel()
+                self._flusher = None
+            await self._run_round(self._take())

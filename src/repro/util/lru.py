@@ -5,17 +5,44 @@ oracle's memory plans, the model's per-node stage tables — and long
 sweeps visit an unbounded set of row counts, so plain dict memos grow
 without limit.  ``LRUCache`` is the shared bounded replacement: a plain
 ``OrderedDict`` under the hood, recency-ordered, evicting the least
-recently used entry once ``maxsize`` is reached.  No threads touch these
-caches (parallelism in this repo is process-based), so there is no
-locking.
+recently used entry once ``maxsize`` is reached.
+
+Thread safety is opt-in.  The experiment stack is process-parallel, so
+the default cache takes no lock and pays nothing for one.  The serving
+layer (:mod:`repro.serve`) runs model passes on an executor thread while
+the asyncio event loop owns the coordinator, so *its* caches are built
+with ``threadsafe=True`` and every operation then runs under an
+``RLock``.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator, Optional
 
 __all__ = ["LRUCache"]
+
+#: Internal miss marker: ``None`` is a legitimate cached *value* (a
+#: memoised "no plan needed", a stored null result), so lookups cannot
+#: use it to detect absence.
+_MISS = object()
+
+
+class _NullLock:
+    """No-op context manager standing in for the lock when the cache is
+    single-threaded (the default) — stateless, shared, re-entrant."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_LOCK = _NullLock()
 
 
 class LRUCache:
@@ -26,59 +53,79 @@ class LRUCache:
     maxsize:
         Maximum number of entries kept.  Must be positive — callers that
         want "no cache" should not construct one.
+    threadsafe:
+        When true, every operation (including the ``stats`` snapshot)
+        runs under a re-entrant lock, so the cache may be shared between
+        an event-loop thread and executor threads.  Default false: the
+        lock is a shared no-op and the hot path pays one ``with`` on a
+        stateless object.
     """
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(self, maxsize: int, *, threadsafe: bool = False) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock() if threadsafe else _NULL_LOCK
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def get_many(self, keys) -> list:
         """Batched :meth:`get`: one value (or ``None``) per key, with a
-        single method call's overhead for hot loops."""
-        data = self._data
-        move = data.move_to_end
-        out = []
-        hits = 0
-        for key in keys:
-            value = data.get(key)
-            if value is not None:
-                move(key)
-                hits += 1
-            out.append(value)
-        self.hits += hits
-        self.misses += len(out) - hits
-        return out
+        single method call's overhead for hot loops.
+
+        A *stored* ``None`` is a hit, exactly as in :meth:`get`: absence
+        is detected with an internal sentinel, never by comparing the
+        value against ``None``, so recency and the hit/miss counters
+        stay correct for null-valued entries.
+        """
+        with self._lock:
+            data = self._data
+            move = data.move_to_end
+            out = []
+            hits = 0
+            for key in keys:
+                value = data.get(key, _MISS)
+                if value is _MISS:
+                    out.append(None)
+                else:
+                    move(key)
+                    hits += 1
+                    out.append(value)
+            self.hits += hits
+            self.misses += len(out) - hits
+            return out
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) ``key``, evicting the LRU entry if full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._data)
@@ -88,15 +135,17 @@ class LRUCache:
         return self._data.items()
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     @property
     def stats(self) -> dict:
         """Counters for diagnostics and benchmark JSON."""
-        return {
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

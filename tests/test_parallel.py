@@ -176,6 +176,70 @@ class TestSweepCache:
         reloaded = SweepCache(path, max_entries=8)
         assert reloaded.lookup(cluster, program, d) == (3.0, 3.5)
 
+    def test_interleaved_saves_merge_instead_of_clobbering(self, tmp_path):
+        # Regression: save() used to overwrite the file with this
+        # cache's view only, silently dropping entries a concurrent
+        # process had written since load.  Two caches opened against
+        # the same (empty) file stand in for two server processes.
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d1 = block(cluster, program.n_rows)
+        d2 = balanced(cluster, program.n_rows)
+        assert d1.counts != d2.counts
+        path = tmp_path / "fleet-cache.json"
+        a = SweepCache(path)
+        b = SweepCache(path)
+        a.store(cluster, program, d1, 1.0, 1.1)
+        b.store(cluster, program, d2, 2.0, 2.2)
+        a.save()
+        b.save()  # must re-read and keep a's entry
+        merged = SweepCache(path)
+        assert merged.lookup(cluster, program, d1) == (1.0, 1.1)
+        assert merged.lookup(cluster, program, d2) == (2.0, 2.2)
+        # The atomic-replace path leaves no temp litter behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["fleet-cache.json"]
+
+    def test_save_tolerates_corrupt_disk_file(self, tmp_path):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d = block(cluster, program.n_rows)
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"half-written', encoding="utf-8")
+        cache = SweepCache()  # no path yet: loading would also tolerate it
+        cache.path = path
+        cache.store(cluster, program, d, 1.0, 1.0)
+        cache.save()
+        assert SweepCache(path).lookup(cluster, program, d) == (1.0, 1.0)
+
+    def test_bounded_counters_single_source_of_truth(self):
+        # Regression: a bounded SweepCache used to increment its own
+        # hit/miss counters *and* the backing LRU's, so `repro stats`
+        # could report two disagreeing figures for one cache.
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d1 = block(cluster, program.n_rows)
+        d2 = balanced(cluster, program.n_rows)
+        cache = SweepCache(max_entries=4)
+        cache.lookup(cluster, program, d1)        # miss
+        cache.store(cluster, program, d1, 1.0, 1.0)
+        cache.lookup(cluster, program, d1)        # hit
+        cache.lookup(cluster, program, d2)        # miss
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert cache.hits == cache._store.hits
+        assert cache.misses == cache._store.misses
+        assert cache.stats == {"size": 1, "hits": 1, "misses": 2}
+
+    def test_unbounded_counters_unchanged(self):
+        cluster = config_dc()
+        program = JacobiApp.paper(scale=SCALE).structure
+        d = block(cluster, program.n_rows)
+        cache = SweepCache()
+        cache.lookup(cluster, program, d)
+        cache.store(cluster, program, d, 1.0, 1.0)
+        cache.lookup(cluster, program, d)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.stats == {"size": 1, "hits": 1, "misses": 1}
+
 
 class TestPredictMany:
     def test_bit_identical_to_predict_seconds(self):

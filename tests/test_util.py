@@ -172,3 +172,57 @@ class TestLRUCache:
 
         with pytest.raises(ValueError):
             LRUCache(0)
+
+    def test_stored_none_is_a_hit_in_get_many(self):
+        # Regression: get_many used to detect misses by comparing the
+        # value against None, so a stored None never refreshed recency
+        # and was miscounted as a miss.
+        from repro.util import LRUCache
+
+        cache = LRUCache(4)
+        cache.put("a", None)
+        assert cache.get_many(["a"]) == [None]
+        assert (cache.hits, cache.misses) == (1, 0)
+        # Recency was refreshed, exactly like get(): the None-valued
+        # entry survives eviction pressure aimed at older keys.
+        small = LRUCache(2)
+        small.put("x", None)
+        small.put("y", 2)
+        small.get_many(["x"])
+        small.put("z", 3)
+        assert "x" in small and "y" not in small
+        # get() and get_many() agree on stored None.
+        assert cache.get("a") is None
+        assert (cache.hits, cache.misses) == (2, 0)
+
+    def test_threadsafe_mode_survives_concurrent_hammering(self):
+        import threading
+
+        from repro.util import LRUCache
+
+        cache = LRUCache(64, threadsafe=True)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(500):
+                    key = (seed * 31 + i) % 100
+                    cache.put(key, key)
+                    cache.get(key)
+                    cache.get_many([key, (key + 1) % 100])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats
+        assert stats["size"] <= 64
+        # 4 workers x 500 iterations x 3 lookups (one get + two in
+        # get_many) all land in the counters, none lost to races.
+        assert stats["hits"] + stats["misses"] == 4 * 500 * 3
