@@ -39,17 +39,32 @@ JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_model_speed.json"
 #: scalar seed behaviour (uncached reference path).
 REQUIRED_SPEEDUP = 3.0
 
+#: Hard gate for the compiled-plan kernel: batched plan throughput must
+#: beat the batched scalar seed by at least this factor (held in both
+#: numba and pure-numpy fallback modes — CI runs both legs).
+REQUIRED_PLAN_SPEEDUP = 8.0
+
+#: The batched numpy-cached figure this optimisation round started
+#: from (BENCH_model_speed.json before the plan kernel landed); the
+#: plan's 10x target is measured against it.
+REFERENCE_NUMPY_CACHED_MS = 0.05790134706402052
+
 #: kernel/cache configurations measured.  ``scalar-uncached`` is the
-#: seed behaviour; ``numpy-cached`` is the current default.
+#: seed behaviour; ``numpy-cached`` is the previous default;
+#: ``plan-cached`` is the compiled evaluation plan.
 CONFIGS = {
     "scalar-uncached": dict(kernel="scalar", table_cache=0),
     "scalar-cached": dict(kernel="scalar"),
     "numpy-uncached": dict(kernel="numpy", table_cache=0),
     "numpy-cached": dict(kernel="numpy"),
+    "plan-cached": dict(kernel="plan"),
 }
 
 
 def _setup():
+    from repro.core.plan import reset_plan_cache
+
+    reset_plan_cache()  # clean compile/hit counters for the JSON report
     cluster = config_hy1()
     program = JacobiApp.paper().structure
     inputs = collect_inputs(cluster, program, block(cluster, program.n_rows))
@@ -87,19 +102,28 @@ def _interleaved_throughput(models, candidates, reps=30):
     }
 
 
-def _batched_throughput(models, candidates, reps=30):
+def _batched_throughput(models, candidates, reps=30, burst=3):
     """Per-config evaluations/second through ``predict(batch=True)``
     (the scalar configs loop internally — the honest baseline for the
-    vectorized pass), interleaved like the serial loop."""
+    vectorized pass), interleaved like the serial loop.
+
+    Each round times a short *burst* of consecutive calls per config:
+    a single interleaved call mostly measures the cache refill forced
+    by the other four configs, which for a kernel an order of
+    magnitude faster than the eviction interval drowns the kernel
+    itself.  Search loops call the kernel back to back, so the burst
+    is the representative shape; interleaving between bursts still
+    spreads host noise across configs."""
     for model in models.values():  # warm caches and bytecode
         model.predict(candidates, batch=True)
     spent = {label: 0.0 for label in models}
     for _ in range(reps):
         for label, model in models.items():
             t0 = time.perf_counter()
-            model.predict(candidates, batch=True)
+            for _ in range(burst):
+                model.predict(candidates, batch=True)
             spent[label] += time.perf_counter() - t0
-    evaluations = reps * len(candidates)
+    evaluations = reps * burst * len(candidates)
     return {
         label: {
             "evaluations_per_second": evaluations / seconds,
@@ -139,7 +163,12 @@ def _telemetry_overhead(model, candidates, reps=60):
     return {
         "bare_seconds": bare,
         "disabled_recorder_seconds": carried,
-        "overhead_pct": pct,
+        # The reported figure is clamped at 0 — a negative overhead is
+        # host noise, not a real speedup, and recording it as-is lets
+        # noise mask a later regression.  The raw value stays alongside
+        # it and is what the gate asserts on.
+        "overhead_pct": max(pct, 0.0),
+        "overhead_pct_raw": pct,
         "evaluations_per_side": reps * len(candidates),
     }
 
@@ -183,6 +212,8 @@ def test_kernel_throughput_and_search(benchmark, save_result):
     search = _search_walltime(cluster, program, models)
     telemetry = _telemetry_overhead(models["numpy-cached"], candidates)
 
+    from repro.core.plan import numba_active, plan_cache_stats
+
     baseline = throughput["scalar-uncached"]["evaluations_per_second"]
     default = throughput["numpy-cached"]["evaluations_per_second"]
     eval_speedup = default / baseline
@@ -192,6 +223,13 @@ def test_kernel_throughput_and_search(benchmark, save_result):
     search_speedup = (
         search["scalar-uncached"]["mean_seconds"]
         / search["numpy-cached"]["mean_seconds"]
+    )
+    plan_vs_scalar = (
+        batched["plan-cached"]["evaluations_per_second"]
+        / batched["scalar-uncached"]["evaluations_per_second"]
+    )
+    plan_vs_reference = (
+        REFERENCE_NUMPY_CACHED_MS / batched["plan-cached"]["mean_ms"]
     )
 
     payload = {
@@ -207,9 +245,15 @@ def test_kernel_throughput_and_search(benchmark, save_result):
             "batched_numpy_cached_vs_scalar_uncached": batch_speedup,
             "search_numpy_cached_vs_scalar_uncached": search_speedup,
             "required": REQUIRED_SPEEDUP,
+            "batched_plan_vs_scalar_uncached": plan_vs_scalar,
+            "batched_plan_vs_reference_numpy_cached": plan_vs_reference,
+            "reference_numpy_cached_ms": REFERENCE_NUMPY_CACHED_MS,
+            "plan_required_vs_scalar": REQUIRED_PLAN_SPEEDUP,
         },
         "telemetry_overhead": telemetry,
         "table_cache_stats": models["numpy-cached"].table_cache_stats,
+        "plan_cache_stats": plan_cache_stats(),
+        "plan_numba_active": numba_active(),
     }
     JSON_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
@@ -238,8 +282,15 @@ def test_kernel_throughput_and_search(benchmark, save_result):
         f"(search required >= {REQUIRED_SPEEDUP:.0f}x)"
     )
     lines.append(
+        f"  plan kernel (numba {'on' if numba_active() else 'off'}): "
+        f"{plan_vs_scalar:.2f}x vs batched scalar seed "
+        f"(required >= {REQUIRED_PLAN_SPEEDUP:.0f}x), "
+        f"{plan_vs_reference:.2f}x vs the pre-plan numpy-cached figure "
+        f"({REFERENCE_NUMPY_CACHED_MS:.4f} ms/eval; target 10x)"
+    )
+    lines.append(
         f"  disabled-telemetry overhead: {telemetry['overhead_pct']:.2f}% "
-        "(required <= 5%)"
+        f"(raw {telemetry['overhead_pct_raw']:.2f}%, required <= 5%)"
     )
     save_result("model_speed", "\n".join(lines))
 
@@ -253,9 +304,17 @@ def test_kernel_throughput_and_search(benchmark, save_result):
         f"{REQUIRED_SPEEDUP}x (evals {eval_speedup:.2f}x, "
         f"batched {batch_speedup:.2f}x)"
     )
-    # A disabled recorder must be near-free on the hot path.
-    assert telemetry["overhead_pct"] <= 5.0, (
-        f"disabled-telemetry overhead {telemetry['overhead_pct']:.2f}% "
+    # The compiled plan must hold its floor in whichever mode this run
+    # is in (numba leg or pure-numpy fallback leg).
+    assert plan_vs_scalar >= REQUIRED_PLAN_SPEEDUP, (
+        f"batched plan speedup {plan_vs_scalar:.2f}x vs the scalar seed "
+        f"is below the {REQUIRED_PLAN_SPEEDUP}x hard gate "
+        f"(numba_active={numba_active()})"
+    )
+    # A disabled recorder must be near-free on the hot path; the gate
+    # uses the *unclamped* value so negative noise cannot hide drift.
+    assert telemetry["overhead_pct_raw"] <= 5.0, (
+        f"disabled-telemetry overhead {telemetry['overhead_pct_raw']:.2f}% "
         "exceeds the 5% budget"
     )
 

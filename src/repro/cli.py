@@ -111,9 +111,11 @@ def _add_common(parser: argparse.ArgumentParser, config: bool = True) -> None:
 
 def _add_kernel(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--kernel", choices=("numpy", "scalar"), default="numpy",
-        help="MHETA evaluation kernel: vectorised (numpy, default) or "
-        "the scalar reference; predictions agree to <= 1e-12 relative",
+        "--kernel", choices=("numpy", "scalar", "plan"), default="numpy",
+        help="MHETA evaluation kernel: vectorised (numpy, default), "
+        "the scalar reference, or the compiled evaluation plan "
+        "(plan; JIT-compiled when numba is available); predictions "
+        "agree to <= 1e-12 relative",
     )
 
 
@@ -572,6 +574,23 @@ def _cmd_stats(args) -> str:
         "",
         f"search: {result.algorithm} best {result.predicted_seconds:.6f}s "
         f"in {result.evaluations} evaluations",
+    ]
+
+    def _fmt_cache(stats: dict) -> str:
+        return "  ".join(
+            f"{k}={v:.6f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(stats.items())
+        )
+
+    from repro.core.plan import plan_cache_stats
+    from repro.parallel import default_run_cache
+
+    lines += [
+        "",
+        "cache tiers:",
+        f"  table LRU   {_fmt_cache(model.table_cache_stats)}",
+        f"  run cache   {_fmt_cache(default_run_cache().stats)}",
+        f"  plan cache  {_fmt_cache(plan_cache_stats())}",
         "",
         _render_telemetry(rec, args) if args.telemetry else rec.describe(),
     ]

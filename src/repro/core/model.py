@@ -38,6 +38,7 @@ needs them (Section 4.2.1).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -66,8 +67,12 @@ from repro.util.lru import LRUCache
 
 __all__ = ["MhetaModel", "KERNELS", "DEFAULT_TABLE_CACHE_ENTRIES"]
 
-#: Selectable evaluation kernels.
-KERNELS = ("numpy", "scalar")
+#: Selectable evaluation kernels.  ``"plan"`` evaluates through a
+#: compiled :class:`repro.core.plan.EvaluationPlan` (one-time lowering
+#: of the (app structure, cluster shape) triple, JIT-compiled with
+#: numba when available) and falls back to the numpy machinery for
+#: reports and iteration-profile programs.
+KERNELS = ("numpy", "scalar", "plan")
 
 #: Default bound of the per-``(node, rows)`` table cache.  Generous for
 #: any search (a 200-evaluation sweep over 8 nodes touches at most 1600
@@ -235,6 +240,10 @@ class MhetaModel:
         for t in tiles:
             self._tile_offsets.append(self._tile_offsets[-1] + t)
         self._total_tiles = self._tile_offsets[-1]
+        # Compiled evaluation plan (kernel="plan"): resolved lazily via
+        # ensure_plan / the process-wide plan LRU, dropped on pickling.
+        self._plan = None
+        self._fingerprint: Optional[str] = None
 
     @property
     def n_nodes(self) -> int:
@@ -247,6 +256,78 @@ class MhetaModel:
             return {"size": 0, "maxsize": 0, "hits": 0, "misses": 0,
                     "evictions": 0}
         return self._tables_cache.stats
+
+    # -- compiled evaluation plans ----------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the (app structure, cluster shape, kernel
+        options) triple — the key under which compiled plans are shared
+        process-wide.  Two models with equal fingerprints produce
+        identical predictions, so they may share one plan."""
+        if self._fingerprint is None:
+            p = self.program
+            h = hashlib.sha256()
+            h.update(
+                repr(
+                    (
+                        p.name,
+                        p.n_rows,
+                        p.iterations,
+                        p.prefetch,
+                        tuple(
+                            (
+                                s.name,
+                                s.tiles,
+                                repr(s.stages),
+                                s.comm.pattern.value,
+                                s.comm.message_bytes,
+                                s.comm.source_variable,
+                            )
+                            for s in p.sections
+                        ),
+                        repr(p.variables),
+                        tuple(self.oracle._memory),
+                    )
+                ).encode()
+            )
+            if p.row_weights is not None:
+                h.update(np.ascontiguousarray(p.row_weights).tobytes())
+            if p.iteration_profile is not None:
+                h.update(
+                    np.ascontiguousarray(p.iteration_profile).tobytes()
+                )
+            h.update(self.inputs.to_json().encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    def ensure_plan(self, telemetry: Optional[Recorder] = None):
+        """Resolve this model's compiled evaluation plan (a plan-LRU
+        hit, or a fresh compile under ``span/plan/compile``).  Public so
+        long-lived holders — the serve coordinator's resident models —
+        can warm the plan ahead of the first scoring pass."""
+        if self._plan is None:
+            from repro.core.plan import get_plan
+
+            self._plan = get_plan(self, telemetry=telemetry)
+        return self._plan
+
+    def release_plan(self) -> None:
+        """Drop this model's compiled plan from the process-wide plan
+        LRU (resident-model eviction must not leak plans across cache
+        tiers)."""
+        if self._plan is not None:
+            from repro.core.plan import discard_plan
+
+            discard_plan(self._plan.fingerprint)
+            self._plan = None
+
+    def __getstate__(self) -> dict:
+        # Plans hold closures and scratch buffers; workers recompile (or
+        # hit their own process's plan LRU) lazily after unpickling.
+        state = self.__dict__.copy()
+        state["_plan"] = None
+        return state
 
     # -- prediction -------------------------------------------------------------
 
@@ -307,7 +388,7 @@ class MhetaModel:
                     self._record_cache_gauges(telemetry)
                     telemetry.count("model/predictions", len(dists))
                 return out
-            out = self._predict_batch(dists, iterations)
+            out = self._predict_batch(dists, iterations, telemetry=telemetry)
             if telemetry:
                 telemetry.count("model/batch_predictions")
                 telemetry.observe("model/batch_size", len(dists))
@@ -365,11 +446,63 @@ class MhetaModel:
         rec.set("model/table_cache/hits", stats["hits"])
         rec.set("model/table_cache/misses", stats["misses"])
         rec.set("model/table_cache/evictions", stats["evictions"])
+        if self.kernel == "plan":
+            from repro.core.plan import plan_cache_stats
+
+            pstats = plan_cache_stats()
+            rec.set("model/plan_cache/size", pstats["size"])
+            rec.set("model/plan_cache/hits", pstats["hits"])
+            rec.set("model/plan_cache/misses", pstats["misses"])
+            rec.set("model/plan_cache/compiles", pstats["compiles"])
+            rec.set(
+                "model/plan_cache/compile_seconds",
+                pstats["compile_seconds"],
+            )
+
+    def _batch_counts(self, dists: Sequence[GenBlock]) -> np.ndarray:
+        """Stack and validate candidate row counts as ``(B, P)`` int64.
+
+        Validation is vectorized (one shape check, one row-sum check);
+        only on failure does it fall back to the per-candidate loop, so
+        the error messages match the sequential path exactly."""
+        P = self.n_nodes
+
+        def _validate_loop() -> None:
+            for d in dists:
+                if d.n_nodes != P:
+                    raise ModelError(
+                        "distribution does not match the model's nodes"
+                    )
+                if d.n_rows != self.program.n_rows:
+                    raise ModelError(
+                        "distribution does not cover the program's rows"
+                    )
+
+        n_rows = self.program.n_rows
+        counts = np.empty((len(dists), P), dtype=np.int64)
+        try:
+            # Row-assigning each candidate's cached int64 mirror is the
+            # cheapest exact stacking; the explicit length check (a
+            # length-1 array would broadcast silently) and the cached
+            # row total validate each candidate in-loop.  Any mismatch
+            # or a foreign distribution type falls back to the loop
+            # whose messages match the sequential path.
+            for i, d in enumerate(dists):
+                mirror = d.counts_np
+                if len(mirror) != P or d._n_rows != n_rows:
+                    raise ValueError
+                counts[i] = mirror
+            return counts
+        except (ValueError, TypeError, AttributeError):
+            pass
+        _validate_loop()
+        return np.array([d.counts for d in dists], dtype=np.int64)
 
     def _predict_batch(
         self,
         distributions: Sequence[GenBlock],
         iterations: Optional[int] = None,
+        telemetry: Optional[Recorder] = None,
     ) -> np.ndarray:
         """Score a whole candidate population in one vectorized pass.
 
@@ -394,6 +527,20 @@ class MhetaModel:
         if not dists:
             return np.empty(0)
         P = self.n_nodes
+        if (
+            self.kernel == "plan"
+            and self.program.iteration_profile is None
+        ):
+            counts = self._batch_counts(dists)
+            n_iter = (
+                iterations
+                if iterations is not None
+                else self.program.iterations
+            )
+            plan = self._plan
+            if plan is None:
+                plan = self.ensure_plan(telemetry)
+            return plan.execute(counts, n_iter)
         for d in dists:
             if d.n_nodes != P:
                 raise ModelError(
@@ -630,9 +777,9 @@ class MhetaModel:
         P = self.n_nodes
         cache = table_cache if table_cache is not None else self._tables_cache
         build = (
-            self._node_tables_numpy
-            if self.kernel == "numpy"
-            else self._node_tables
+            self._node_tables
+            if self.kernel == "scalar"
+            else self._node_tables_numpy
         )
         counts = distribution.counts
         per_node = []
@@ -648,7 +795,7 @@ class MhetaModel:
                     cache.put(key, entry)
                 per_node.append(entry)
         tables = []
-        if self.kernel == "numpy":
+        if self.kernel != "scalar":
             # One row copy per node into the flat (P, total_tiles)
             # tables, then per-section column views — no re-stacking.
             all_totals = np.empty((P, self._total_tiles))
@@ -1013,18 +1160,21 @@ class MhetaModel:
         n_iter = (
             iterations if iterations is not None else self.program.iterations
         )
-        if (
-            self.kernel == "numpy"
-            and not want_report
-            and self.program.iteration_profile is None
-        ):
-            return self._predict_seconds_lean(
-                distribution, n_iter, table_cache
-            )
+        if not want_report and self.program.iteration_profile is None:
+            if self.kernel == "numpy":
+                return self._predict_seconds_lean(
+                    distribution, n_iter, table_cache
+                )
+            if self.kernel == "plan":
+                plan = self._plan
+                if plan is None:
+                    plan = self.ensure_plan(telemetry)
+                counts = np.array([distribution.counts], dtype=np.int64)
+                return float(plan.execute(counts, n_iter)[0])
         P = self.n_nodes
         tables = self._section_tables(distribution, table_cache)
 
-        if self.kernel == "numpy":
+        if self.kernel != "scalar":
             totals, steady = self._walk_arrays(tables, n_iter)
             if not want_report:
                 return float(totals.max())

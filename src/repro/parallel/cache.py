@@ -19,6 +19,7 @@ shape/dtype/bytes), so keys are stable across processes and sessions —
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import hashlib
@@ -27,7 +28,7 @@ import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -81,6 +82,36 @@ def _canonical(obj: Any) -> Any:
         ]
     # Last resort: a stable repr (covers simple value objects).
     return ["repr", type(obj).__name__, repr(obj)]
+
+
+@contextlib.contextmanager
+def _file_lock(path: Path) -> Iterator[None]:
+    """Exclusive inter-process lock covering updates of ``path``.
+
+    ``os.replace`` makes each write atomic, but the read-merge-replace
+    in :meth:`SweepCache.save` is not: two processes that both read
+    before either replaces silently drop one side's entries.  An
+    ``flock`` over the whole critical section serialises the merge.
+    The lock is taken on the *parent directory's* fd: the data file's
+    inode changes on every ``os.replace`` (locking it races), and a
+    sidecar lock file would either litter the directory or race its
+    own cleanup.  Platforms without ``fcntl`` fall back to the
+    unserialised (but still atomic-per-write) behaviour.
+    """
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX: keep the previous best effort
+        yield
+        return
+    fd = os.open(str(path.parent), os.O_RDONLY)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
 
 
 def content_key(*objects: Any) -> str:
@@ -231,38 +262,43 @@ class SweepCache:
         The write is a read-merge-replace: entries another process wrote
         to the file since this cache loaded it are re-read and kept
         (this cache's pairs win on key collisions — the pairs are
-        deterministic, so colliding values agree anyway), and the merged
-        payload lands via a same-directory temp file + :func:`os.replace`,
-        so a crash mid-write can never leave a truncated file and two
-        processes saving interleaved lose nothing.
+        deterministic, so colliding values agree anyway).  The whole
+        read-merge-replace runs under an inter-process file lock and the
+        merged payload lands via a same-directory temp file +
+        :func:`os.replace`, so a crash mid-write can never leave a
+        truncated file and two processes saving interleaved lose
+        nothing.
         """
         if self.path is None:
             return
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            merged: Dict[str, Tuple[float, float]] = {}
-            if self.path.exists():
-                merged.update(self._read_disk())
-            merged.update(
-                (k, (float(v[0]), float(v[1])))
-                for k, v in self._store.items()
-            )
-            payload = {k: list(v) for k, v in sorted(merged.items())}
-            fd, tmp = tempfile.mkstemp(
-                dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write(
-                        json.dumps(payload, indent=0, sort_keys=True) + "\n"
-                    )
-                os.replace(tmp, self.path)
-            except BaseException:
+            with _file_lock(self.path):
+                merged: Dict[str, Tuple[float, float]] = {}
+                if self.path.exists():
+                    merged.update(self._read_disk())
+                merged.update(
+                    (k, (float(v[0]), float(v[1])))
+                    for k, v in self._store.items()
+                )
+                payload = {k: list(v) for k, v in sorted(merged.items())}
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.path.parent, prefix=self.path.name,
+                    suffix=".tmp",
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                        fh.write(
+                            json.dumps(payload, indent=0, sort_keys=True)
+                            + "\n"
+                        )
+                    os.replace(tmp, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
 
 
 class RunCache:

@@ -130,7 +130,15 @@ class ServeCoordinator:
         self.jobs = jobs
         self.sweep_cache = sweep_cache
         self.telemetry = as_recorder(telemetry)
-        self._models = LRUCache(model_cache_entries, threadsafe=True)
+        # Eviction must also drop the model's compiled evaluation plan
+        # from the process-wide plan LRU: a resident model is the only
+        # holder keeping that plan warm, and leaking it across cache
+        # tiers would let dead plans crowd out live ones.
+        self._models = LRUCache(
+            model_cache_entries,
+            threadsafe=True,
+            on_evict=lambda key, entry: entry.model.release_plan(),
+        )
         self._model_locks: Dict[Tuple, asyncio.Lock] = {}
         # One worker thread: passes serialise, the loop keeps gathering.
         self._executor = ThreadPoolExecutor(
@@ -186,6 +194,12 @@ class ServeCoordinator:
         model = build_model(
             cluster, program, kernel=query.kernel or self.kernel
         )
+        if model.kernel == "plan":
+            # Warm the compiled plan with the model build (still on the
+            # executor thread), so the first query pays compile cost
+            # here rather than inside its scoring pass.  Compile time
+            # lands in the plan-cache counters either way.
+            model.ensure_plan()
         return _ModelEntry(model, cluster, program)
 
     async def _run_blocking(self, fn, *args):
@@ -468,6 +482,8 @@ class ServeCoordinator:
     # -- stats ---------------------------------------------------------------
 
     def _stats(self) -> Dict[str, Any]:
+        from repro.core.plan import plan_cache_stats
+
         models = {}
         for key in list(self._models):
             entry = self._models.get(key)
@@ -484,6 +500,7 @@ class ServeCoordinator:
             "requests_handled": self.requests_handled,
             "models_resident": len(self._models),
             "models": models,
+            "plan_cache": plan_cache_stats(),
             "telemetry": self.telemetry.snapshot()
             if self.telemetry
             else None,

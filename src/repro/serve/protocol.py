@@ -124,7 +124,7 @@ class Query:
         app = _require_choice(payload, "app", APPS)
         config = _require_choice(payload, "config", CONFIGS, default="HY1")
         kernel = payload.get("kernel")
-        if kernel is not None and kernel not in ("numpy", "scalar"):
+        if kernel is not None and kernel not in ("numpy", "scalar", "plan"):
             raise ServeError(f"unknown kernel {kernel!r}")
         try:
             scale = float(payload.get("scale", 0.1))

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Iterator, Optional
+from typing import Any, Callable, Hashable, Iterator, Optional
 
 __all__ = ["LRUCache"]
 
@@ -59,14 +59,28 @@ class LRUCache:
         an event-loop thread and executor threads.  Default false: the
         lock is a shared no-op and the hot path pays one ``with`` on a
         stateless object.
+    on_evict:
+        Optional ``(key, value)`` callback invoked after an entry is
+        evicted by :meth:`put` — *outside* the lock, so the callback may
+        itself touch caches.  Explicit :meth:`pop`/:meth:`clear` calls
+        do not trigger it (the caller already holds the value).  The
+        serving layer uses this to release a resident model's compiled
+        plans when the model-LRU drops it.
     """
 
-    def __init__(self, maxsize: int, *, threadsafe: bool = False) -> None:
+    def __init__(
+        self,
+        maxsize: int,
+        *,
+        threadsafe: bool = False,
+        on_evict: Optional[Callable[[Hashable, Any], None]] = None,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.RLock() if threadsafe else _NULL_LOCK
+        self._on_evict = on_evict
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -111,13 +125,23 @@ class LRUCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        evicted = _MISS
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
             self._data[key] = value
             if len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                evicted = self._data.popitem(last=False)
                 self.evictions += 1
+        if evicted is not _MISS and self._on_evict is not None:
+            self._on_evict(*evicted)
+
+    def pop(self, key: Hashable, default: Optional[Any] = None) -> Any:
+        """Remove and return ``key``'s value (``default`` when absent).
+        Leaves the hit/miss counters untouched: a pop is bookkeeping,
+        not a lookup."""
+        with self._lock:
+            return self._data.pop(key, default)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:

@@ -80,12 +80,13 @@ def _assert_batch_matches_sequential(model, cands):
 # -- golden sweep: every seed app on every seed cluster ----------------------
 
 
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
 @pytest.mark.parametrize("cluster_name", sorted(CLUSTERS))
 @pytest.mark.parametrize("app_name", sorted(APPS))
-def test_batch_equivalence(app_name, cluster_name):
+def test_batch_equivalence(app_name, cluster_name, kernel):
     cluster = CLUSTERS[cluster_name]()
     program = APPS[app_name].paper(SCALE).structure
-    model = _model(cluster, program)
+    model = _model(cluster, program, kernel=kernel)
     _assert_batch_matches_sequential(model, _candidates(cluster, program))
 
 
@@ -111,18 +112,33 @@ def test_batch_equivalence_iteration_profile(cluster_name):
     _assert_batch_matches_sequential(model, _candidates(cluster, program))
 
 
-def test_batch_matches_scalar_kernel():
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
+def test_batch_matches_scalar_kernel(kernel):
     """The batch must also satisfy the cross-kernel golden contract:
     within 1e-12 relative of the scalar reference."""
     cluster = configs.config_hy1()
     program = JacobiApp.paper(SCALE).structure
     scalar = _model(cluster, program, kernel="scalar", table_cache=0)
-    vector = _model(cluster, program)
+    vector = _model(cluster, program, kernel=kernel)
     cands = _candidates(cluster, program)
     batch = vector.predict_seconds_batch(cands)
     for dist, got in zip(cands, batch):
         want = scalar.predict_seconds(dist)
         assert abs(got - want) <= REL_TOL * max(abs(got), abs(want))
+
+
+def test_plan_batch_matches_numpy_batch():
+    """``kernel="plan"`` and the numpy batch agree on the whole
+    population at the golden tolerance (one vectorized pass each)."""
+    cluster = configs.config_hy1()
+    program = MultigridApp.paper(SCALE).structure
+    vector = _model(cluster, program)
+    plan = _model(cluster, program, kernel="plan")
+    cands = _candidates(cluster, program)
+    a = vector.predict_seconds_batch(cands)
+    b = plan.predict_seconds_batch(cands)
+    rel = np.abs(a - b) / np.maximum(np.abs(a), np.abs(b))
+    assert rel.max() <= REL_TOL
 
 
 def test_scalar_kernel_batch_is_loop_fallback():
@@ -136,28 +152,34 @@ def test_scalar_kernel_batch_is_loop_fallback():
     assert list(batch) == [model.predict_seconds(d) for d in cands]
 
 
-def test_empty_batch():
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
+def test_empty_batch(kernel):
     cluster = configs.config_dc()
     program = JacobiApp.paper(SCALE).structure
-    model = _model(cluster, program)
+    model = _model(cluster, program, kernel=kernel)
     out = model.predict_seconds_batch([])
     assert isinstance(out, np.ndarray) and out.shape == (0,)
 
 
-def test_batch_validates_every_candidate():
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
+def test_batch_validates_every_candidate(kernel):
     cluster = configs.config_dc()
     program = JacobiApp.paper(SCALE).structure
-    model = _model(cluster, program)
+    model = _model(cluster, program, kernel=kernel)
     good = block(cluster, program.n_rows)
     bad = GenBlock((program.n_rows,))  # wrong node count
-    with pytest.raises(ModelError):
+    with pytest.raises(ModelError, match="does not match the model"):
         model.predict_seconds_batch([good, bad])
+    short = GenBlock(tuple(good.counts[:-1]) + (good.counts[-1] - 1,))
+    with pytest.raises(ModelError, match="does not cover the program"):
+        model.predict_seconds_batch([good, short])
 
 
-def test_batch_iterations_override():
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
+def test_batch_iterations_override(kernel):
     cluster = configs.config_hy2()
     program = JacobiApp.paper(SCALE).structure
-    model = _model(cluster, program)
+    model = _model(cluster, program, kernel=kernel)
     cands = _candidates(cluster, program)[:3]
     batch = model.predict_seconds_batch(cands, iterations=7)
     for dist, got in zip(cands, batch):
@@ -165,11 +187,12 @@ def test_batch_iterations_override():
         assert abs(got - want) <= REL_TOL * max(abs(got), abs(want))
 
 
-def test_duplicate_candidates_in_one_batch():
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
+def test_duplicate_candidates_in_one_batch(kernel):
     """Duplicates inside one batch score identically (shared tables)."""
     cluster = configs.config_hy1()
     program = ConjugateGradientApp.paper(SCALE).structure
-    model = _model(cluster, program)
+    model = _model(cluster, program, kernel=kernel)
     d = block(cluster, program.n_rows)
     batch = model.predict_seconds_batch([d, d, d])
     assert batch[0] == batch[1] == batch[2]
@@ -228,13 +251,15 @@ def test_random_batches_agree(batch, cluster_name):
 # -- sharded fan-out ----------------------------------------------------------
 
 
-def test_sharded_prediction_matches_serial():
-    """``predict_seconds_sharded`` is bit-identical across job counts."""
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
+def test_sharded_prediction_matches_serial(kernel):
+    """``predict_seconds_sharded`` is bit-identical across job counts
+    (plan models recompile their plan in each worker process)."""
     from repro.parallel import predict_seconds_sharded
 
     cluster = configs.config_hy1()
     program = JacobiApp.paper(SCALE).structure
-    model = _model(cluster, program)
+    model = _model(cluster, program, kernel=kernel)
     cands = _candidates(cluster, program)
     serial = predict_seconds_sharded(model, cands, jobs=1)
     assert serial == [float(v) for v in model.predict_seconds_batch(cands)]

@@ -46,12 +46,16 @@ CLUSTERS = {
 }
 
 
-def _model_pair(cluster, program):
-    """(scalar reference, numpy kernel) over identical measured inputs."""
+def _model_pair(cluster, program, kernel="numpy"):
+    """(scalar reference, vectorized kernel) over identical inputs.
+
+    ``kernel`` selects the candidate under test: the numpy path or the
+    compiled evaluation plan (``kernel="plan"``) — both are pinned to
+    the same scalar reference at the same tolerance."""
     inputs = collect_inputs(cluster, program, block(cluster, program.n_rows))
     scalar = MhetaModel(program, cluster, inputs, kernel="scalar",
                         table_cache=0)
-    vector = MhetaModel(program, cluster, inputs, kernel="numpy")
+    vector = MhetaModel(program, cluster, inputs, kernel=kernel)
     return scalar, vector
 
 
@@ -74,38 +78,42 @@ def _candidates(cluster, program):
 # -- golden sweep: every seed app on every seed cluster ----------------------
 
 
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
 @pytest.mark.parametrize("cluster_name", sorted(CLUSTERS))
 @pytest.mark.parametrize("app_name", sorted(APPS))
-def test_golden_equivalence(app_name, cluster_name):
+def test_golden_equivalence(app_name, cluster_name, kernel):
     cluster = CLUSTERS[cluster_name]()
     program = APPS[app_name].paper(SCALE).structure
-    scalar, vector = _model_pair(cluster, program)
+    scalar, vector = _model_pair(cluster, program, kernel)
     for dist in _candidates(cluster, program):
         _assert_close(scalar.predict_seconds(dist),
                       vector.predict_seconds(dist))
 
 
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
 @pytest.mark.parametrize("cluster_name", ["IO", "HY1"])
 @pytest.mark.parametrize("app_name", ["jacobi", "rna"])
-def test_golden_equivalence_prefetch(app_name, cluster_name):
+def test_golden_equivalence_prefetch(app_name, cluster_name, kernel):
     """The prefetch I/O model (Equation 2) through both kernels."""
     cluster = CLUSTERS[cluster_name]()
     program = APPS[app_name].paper(SCALE).prefetching()
-    scalar, vector = _model_pair(cluster, program)
+    scalar, vector = _model_pair(cluster, program, kernel)
     for dist in _candidates(cluster, program):
         _assert_close(scalar.predict_seconds(dist),
                       vector.predict_seconds(dist))
 
 
+@pytest.mark.parametrize("kernel", ["numpy", "plan"])
 @pytest.mark.parametrize("cluster_name", ["DC", "HY2"])
-def test_golden_equivalence_iteration_profile(cluster_name):
+def test_golden_equivalence_iteration_profile(cluster_name, kernel):
     """Per-iteration work profiles force the full iteration walk (no
-    steady-state extrapolation) in both kernels."""
+    steady-state extrapolation) in both kernels; ``kernel="plan"``
+    models loop the numpy walk for profile programs."""
     cluster = CLUSTERS[cluster_name]()
     base = JacobiApp.paper(SCALE).structure
     profile = 1.0 + 0.5 * np.sin(np.arange(base.iterations))
     program = base.with_iteration_profile(profile)
-    scalar, vector = _model_pair(cluster, program)
+    scalar, vector = _model_pair(cluster, program, kernel)
     for dist in _candidates(cluster, program):
         _assert_close(scalar.predict_seconds(dist),
                       vector.predict_seconds(dist))
@@ -157,9 +165,9 @@ def _jacobi_pair(cluster_name):
     if cluster_name not in _JACOBI_FIXTURES:
         cluster = CLUSTERS[cluster_name]()
         program = JacobiApp.paper(SCALE).structure
-        _JACOBI_FIXTURES[cluster_name] = (
-            program, *_model_pair(cluster, program)
-        )
+        scalar, vector = _model_pair(cluster, program)
+        _, plan = _model_pair(cluster, program, "plan")
+        _JACOBI_FIXTURES[cluster_name] = (program, scalar, vector, plan)
     return _JACOBI_FIXTURES[cluster_name]
 
 
@@ -175,10 +183,11 @@ def _jacobi_pair(cluster_name):
 def test_random_distributions_agree(weights, cluster_name):
     """Arbitrary GEN_BLOCK shapes — including wildly skewed ones a search
     would never visit — keep the kernels within tolerance."""
-    program, scalar, vector = _jacobi_pair(cluster_name)
+    program, scalar, vector, plan = _jacobi_pair(cluster_name)
     counts = largest_remainder_round(
         np.array(weights), program.n_rows, minimum=1
     )
     dist = GenBlock(counts)
-    _assert_close(scalar.predict_seconds(dist),
-                  vector.predict_seconds(dist))
+    reference = scalar.predict_seconds(dist)
+    _assert_close(reference, vector.predict_seconds(dist))
+    _assert_close(reference, plan.predict_seconds(dist))
