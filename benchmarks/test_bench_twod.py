@@ -41,14 +41,9 @@ def test_twod_model_accuracy(benchmark, save_result):
             ("Bal 8x1", balanced2d(cluster, spec.n_rows, spec.n_cols, (8, 1))),
         ):
             actual = emulator.run(dist)
-            predicted = model.predict_seconds(dist) if label.endswith("2x4") else None
-            # Cross-shape prediction needs a model instrumented on that
-            # shape (tile areas per node change): build one per shape.
-            if predicted is None:
-                shape_model = build_2d_model(
-                    cluster, spec, block2d(spec.n_rows, spec.n_cols, (8, 1))
-                )
-                predicted = shape_model.predict_seconds(dist)
+            # One model serves every shape: calibration is a per-element
+            # compute rate, which transfers across grid shapes.
+            predicted = model.predict(dist)
             err = abs(predicted - actual) / min(predicted, actual) * 100
             rows.append([label, actual, predicted, err])
         return rows
@@ -98,19 +93,16 @@ def test_twod_search(benchmark, save_result):
     """Coordinate-descent GBS over 2-D layouts: finds a strong layout,
     but needs an order of magnitude more evaluations than 1-D GBS —
     the paper's search-space argument, experienced."""
-    from repro.twod import TwoDGbs, factor_pairs
+    from repro.twod import TwoDGbs
 
     cluster = config_dc()
     spec = Jacobi2DSpec(n_rows=8192, n_cols=8192, iterations=100)
 
     def run():
-        models = {
-            shape: build_2d_model(
-                cluster, spec, block2d(spec.n_rows, spec.n_cols, shape)
-            )
-            for shape in factor_pairs(cluster.n_nodes)
-        }
-        result = TwoDGbs(models).search(budget=1500)
+        model = build_2d_model(
+            cluster, spec, block2d(spec.n_rows, spec.n_cols, (2, 4))
+        )
+        result = TwoDGbs(model).search(budget=1500)
         emulator = TwoDEmulator(cluster, spec)
         verified = emulator.run(result.best)
         blk = emulator.run(block2d(spec.n_rows, spec.n_cols, (2, 4)))

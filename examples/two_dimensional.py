@@ -10,7 +10,9 @@ This example demonstrates both halves:
 1. the 2-D model working — predicted vs actual for 2-D Jacobi layouts on
    a heterogeneous cluster, including the case where a 2x4 grid beats
    8x1 strips because square-ish tiles halve the halo traffic;
-2. the search-space explosion that justified the paper's 1-D focus.
+2. the search-space explosion that justified the paper's 1-D focus —
+   and the batched/plan-compiled 2-D kernel that pays for it, driving
+   a full layout search over every grid shape.
 
 Run time: a few seconds (``--full`` for the paper-scale grid).
 """
@@ -21,6 +23,7 @@ from repro.cluster import ClusterSpec, baseline_cluster, config_dc
 from repro.twod import (
     Jacobi2DSpec,
     TwoDEmulator,
+    TwoDGbs,
     balanced2d,
     block2d,
     build_2d_model,
@@ -41,16 +44,19 @@ def main() -> None:
     cluster = config_dc()
     spec = Jacobi2DSpec(n_rows=n, n_cols=n, iterations=iters)
     rows = []
+    # One model serves every grid shape: the calibration is a per-element
+    # compute rate, which transfers across shapes.
+    model = build_2d_model(
+        cluster, spec, block2d(spec.n_rows, spec.n_cols, (2, 4))
+    )
+    emulator = TwoDEmulator(cluster, spec)
     for shape in factor_pairs(cluster.n_nodes):
-        d0 = block2d(spec.n_rows, spec.n_cols, shape)
-        model = build_2d_model(cluster, spec, d0)
-        emulator = TwoDEmulator(cluster, spec)
         for label, dist in (
-            ("Blk", d0),
+            ("Blk", block2d(spec.n_rows, spec.n_cols, shape)),
             ("Bal", balanced2d(cluster, spec.n_rows, spec.n_cols, shape)),
         ):
             actual = emulator.run(dist)
-            predicted = model.predict_seconds(dist)
+            predicted = model.predict(dist)
             err = abs(predicted - actual) / min(predicted, actual) * 100
             rows.append(
                 [f"{shape[0]}x{shape[1]}", label, actual, predicted, err]
@@ -94,10 +100,19 @@ def main() -> None:
 
     # -- 2: why the paper stayed 1-D --------------------------------------
     print(search_space_growth().describe())
-    print(
-        "\nAnd unlike the 1-D case, there is no single "
-        "Blk->I-C->I-C/Bal->Bal path for a GBS-style search to bisect."
+
+    # -- 3: ...and the batched kernel that pays for it --------------------
+    search_model = build_2d_model(
+        cluster, spec, block2d(n, n, (2, 4)), kernel="plan"
     )
+    result = TwoDGbs(search_model).search(budget=400)
+    print(
+        f"\nBatched 2-D search over all grid shapes ({result.evaluations} "
+        f"evaluations through the compiled kernel):\n  {result}"
+    )
+    for shape, value in sorted(result.per_shape.items()):
+        marker = " <-" if shape == result.best.grid_shape else ""
+        print(f"  {shape[0]}x{shape[1]}: {value:.2f}s{marker}")
 
 
 if __name__ == "__main__":

@@ -195,6 +195,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="load measurements from an internal MHETA file instead of "
         "re-running the instrumented iteration",
     )
+    p.add_argument(
+        "--twod", default=None, metavar="RxC",
+        help="2-D mode (jacobi only): predict for an R x C processor "
+        "grid over the square Jacobi array; --dist blk/bal map to the "
+        "2-D anchors, --rows/--cols give explicit bands",
+    )
+    p.add_argument(
+        "--rows", default=None, metavar="A,B,...",
+        help="explicit 2-D row bands, comma-separated (requires --twod)",
+    )
+    p.add_argument(
+        "--cols", default=None, metavar="A,B,...",
+        help="explicit 2-D column bands, comma-separated (requires --twod)",
+    )
     _add_common(p)
     _add_kernel(p)
     _add_telemetry(p)
@@ -230,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verify", action="store_true",
         help="run the emulator on each winner and report the actual time",
+    )
+    p.add_argument(
+        "--twod", default=None, metavar="RxC|all",
+        help="2-D mode (jacobi only): search row x column band layouts "
+        "for one R x C grid shape, or 'all' for every factor pair "
+        "(degenerate strips ride the 1-D spectrum path)",
     )
     _add_common(p)
     _add_jobs(p)
@@ -428,12 +448,149 @@ def _cmd_analyse(args) -> str:
     return analyse_run(trace, result).describe()
 
 
+# -- 2-D subpaths --------------------------------------------------------------
+
+
+def _parse_grid(text: str, n_nodes: int):
+    try:
+        r, c = (int(x) for x in text.lower().split("x"))
+    except ValueError:
+        raise SystemExit(f"--twod expects RxC (e.g. 2x4), got {text!r}")
+    if r < 1 or c < 1 or r * c != n_nodes:
+        raise SystemExit(
+            f"grid {r}x{c} does not cover the cluster's {n_nodes} nodes"
+        )
+    return r, c
+
+
+def _parse_bands(text: str, label: str, count: int, total: int):
+    try:
+        bands = [int(x) for x in text.split(",")]
+    except ValueError:
+        raise SystemExit(f"--{label} expects comma-separated integers")
+    if len(bands) != count:
+        raise SystemExit(f"--{label} needs {count} bands, got {len(bands)}")
+    if sum(bands) != total or min(bands) < 1:
+        raise SystemExit(
+            f"--{label} bands must be >= 1 and sum to {total}"
+        )
+    return bands
+
+
+def _twod_model(args, cluster, program, shape):
+    """Build the 2-D Jacobi model matching the 1-D program's scale."""
+    from repro.twod import Jacobi2DSpec, block2d, build_2d_model
+
+    if args.app != "jacobi":
+        raise SystemExit("--twod supports only the jacobi application")
+    side = program.n_rows
+    spec = Jacobi2DSpec(
+        n_rows=side, n_cols=side, iterations=program.iterations
+    )
+    d0 = block2d(spec.n_rows, spec.n_cols, shape)
+    return build_2d_model(cluster, spec, d0, kernel=args.kernel), spec
+
+
+def _cmd_predict_twod(args, cluster, program) -> str:
+    from repro.twod import GenBlock2D, TwoDEmulator, balanced2d, block2d
+
+    shape = _parse_grid(args.twod, cluster.n_nodes)
+    model, spec = _twod_model(args, cluster, program, shape)
+    if args.rows or args.cols:
+        rows = (
+            _parse_bands(args.rows, "rows", shape[0], spec.n_rows)
+            if args.rows
+            else block2d(spec.n_rows, spec.n_cols, shape).row_counts
+        )
+        cols = (
+            _parse_bands(args.cols, "cols", shape[1], spec.n_cols)
+            if args.cols
+            else block2d(spec.n_rows, spec.n_cols, shape).col_counts
+        )
+        dist = GenBlock2D(rows, cols)
+    elif args.dist.lower() == "bal":
+        dist = balanced2d(cluster, spec.n_rows, spec.n_cols, shape)
+    elif args.dist.lower() == "blk":
+        dist = block2d(spec.n_rows, spec.n_cols, shape)
+    else:
+        raise SystemExit("2-D anchors are blk and bal")
+    rec = _telemetry_recorder(args)
+    report = model.predict(dist, report=True, telemetry=rec)
+    out = [
+        f"jacobi-2d on {args.config} ({shape[0]}x{shape[1]} grid, "
+        f"{spec.n_rows}x{spec.n_cols} array, kernel={args.kernel})",
+        f"rows={list(dist.row_counts)} cols={list(dist.col_counts)}",
+        f"predicted: {report.total_seconds:.3f}s",
+    ]
+    for node in report.nodes:
+        out.append(
+            f"  rank {node.rank} @ {node.grid_coords} "
+            f"tile {node.tile[0]}x{node.tile[1]}: "
+            f"{node.total_seconds:.3f}s"
+        )
+    if args.verify:
+        actual = TwoDEmulator(cluster, spec).run(dist, telemetry=rec)
+        error = (
+            abs(report.total_seconds - actual)
+            / min(report.total_seconds, actual)
+            * 100.0
+        )
+        out.append(f"actual: {actual:.3f}s -> error {error:.2f}%")
+    if rec is not None:
+        out.append("")
+        out.append(_render_telemetry(rec, args))
+    return "\n".join(out)
+
+
+def _cmd_search_twod(args, cluster, program) -> str:
+    from repro.twod import TwoDEmulator, TwoDLayoutSearch, factor_pairs
+
+    if args.twod.lower() == "all":
+        shapes = None
+        d0_shape = sorted(
+            factor_pairs(cluster.n_nodes), key=lambda s: abs(s[0] - s[1])
+        )[0]
+    else:
+        shapes = [_parse_grid(args.twod, cluster.n_nodes)]
+        d0_shape = shapes[0]
+    model, spec = _twod_model(args, cluster, program, d0_shape)
+    rec = _telemetry_recorder(args)
+    names = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    out = []
+    for name in names:
+        result = TwoDLayoutSearch(
+            model,
+            algorithm=name,
+            shapes=shapes,
+            batch_size=args.batch_size,
+            jobs=args.jobs,
+        ).search(args.budget, telemetry=rec)
+        out.append(str(result))
+        for shape, value in sorted(result.per_shape.items()):
+            marker = " <-" if shape == result.best.grid_shape else ""
+            out.append(f"  {shape[0]}x{shape[1]}: {value:.3f}s{marker}")
+        if args.verify:
+            actual = TwoDEmulator(cluster, spec).run(
+                result.best, telemetry=rec
+            )
+            out.append(
+                f"  emulator verifies {actual:.3f}s "
+                f"(predicted {result.predicted_seconds:.3f}s)"
+            )
+    if rec is not None:
+        out.append("")
+        out.append(_render_telemetry(rec, args))
+    return "\n".join(out)
+
+
 def _cmd_predict(args) -> str:
     from repro.core import MhetaModel
     from repro.instrument import MhetaInputs
 
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
+    if args.twod:
+        return _cmd_predict_twod(args, cluster, program)
     if args.inputs:
         model = MhetaModel(
             program, cluster, MhetaInputs.load(args.inputs),
@@ -479,6 +636,8 @@ def _cmd_search(args) -> str:
 
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
+    if args.twod:
+        return _cmd_search_twod(args, cluster, program)
     model = build_model(cluster, program, kernel=args.kernel)
     rec = _telemetry_recorder(args)
     names = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]

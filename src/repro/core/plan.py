@@ -1176,22 +1176,37 @@ _compiles = 0
 _compile_seconds = 0.0
 
 
-def get_plan(model, telemetry: Optional[Recorder] = None) -> EvaluationPlan:
+def get_plan(
+    model,
+    telemetry: Optional[Recorder] = None,
+    *,
+    key: Optional[str] = None,
+    factory: Optional[Callable] = None,
+):
     """The compiled plan for ``model``'s triple: a cache hit when an
     equivalent model (same structure fingerprint) compiled one earlier
     in this process, otherwise a fresh compile under
-    ``span/plan/compile``."""
+    ``span/plan/compile``.
+
+    ``key`` and ``factory`` let other plan kinds (the 2-D kernel's
+    :class:`repro.twod.plan2d.EvaluationPlan2D`) share this same
+    process-wide LRU, compile telemetry, and numba resolution: ``key``
+    defaults to ``model.fingerprint`` and ``factory`` to
+    :class:`EvaluationPlan`.
+    """
     global _compiles, _compile_seconds
-    key = model.fingerprint
+    if key is None:
+        key = model.fingerprint
     plan = _plan_cache.get(key)
     if plan is None:
+        build = factory if factory is not None else EvaluationPlan
         _resolve_numba_walk()
         t0 = time.perf_counter()
         if telemetry:
             with telemetry.span("plan/compile"):
-                plan = EvaluationPlan(model)
+                plan = build(model)
         else:
-            plan = EvaluationPlan(model)
+            plan = build(model)
         dt = time.perf_counter() - t0
         _compiles += 1
         _compile_seconds += dt

@@ -32,7 +32,7 @@ from repro.parallel.cache import (
     content_key,
     default_run_cache,
 )
-from repro.parallel.predict import predict_seconds_sharded
+from repro.parallel.predict import predict_2d_sharded, predict_seconds_sharded
 from repro.parallel.verify import verify_distributions
 
 __all__ = [
@@ -44,5 +44,6 @@ __all__ = [
     "content_key",
     "default_run_cache",
     "predict_seconds_sharded",
+    "predict_2d_sharded",
     "verify_distributions",
 ]

@@ -34,10 +34,20 @@ from repro.twod.jacobi2d import (
     Jacobi2DSpec,
     TwoDEmulator,
     TwoDModel,
+    TwoDNodeReport,
+    TwoDReport,
     build_2d_model,
 )
+from repro.twod.plan2d import EvaluationPlan2D, get_plan2d
 from repro.twod.search_space import SearchSpaceComparison, search_space_growth
-from repro.twod.search2d import TwoDGbs, TwoDSearchResult
+from repro.twod.search2d import (
+    SEARCHER_2D_FAMILIES,
+    TwoDGbs,
+    TwoDLayoutSearch,
+    TwoDSearchResult,
+    is_degenerate,
+    strip_candidates,
+)
 
 __all__ = [
     "GenBlock2D",
@@ -47,9 +57,17 @@ __all__ = [
     "Jacobi2DSpec",
     "TwoDEmulator",
     "TwoDModel",
+    "TwoDReport",
+    "TwoDNodeReport",
     "build_2d_model",
+    "EvaluationPlan2D",
+    "get_plan2d",
     "SearchSpaceComparison",
     "search_space_growth",
+    "SEARCHER_2D_FAMILIES",
     "TwoDGbs",
+    "TwoDLayoutSearch",
     "TwoDSearchResult",
+    "is_degenerate",
+    "strip_candidates",
 ]

@@ -18,15 +18,20 @@ it.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cluster.cluster import ClusterSpec
 from repro.core.comm import SectionTimeline
+from repro.core.model import KERNELS
 from repro.exceptions import ModelError, SimulationError
 from repro.instrument.collect import MeasurementConfig
 from repro.instrument.microbench import Microbenchmarks, run_microbenchmarks
+from repro.obs import Recorder, as_recorder, warn_once
 from repro.sim.disk import DiskModel
 from repro.sim.engine import Delay, Engine, Recv, Send
 from repro.sim.perturbation import PerturbationConfig, PerturbationModel
@@ -34,7 +39,14 @@ from repro.twod.distribution2d import GenBlock2D
 from repro.util.rng import stream
 from repro.util.units import DOUBLE
 
-__all__ = ["Jacobi2DSpec", "TwoDEmulator", "TwoDModel", "build_2d_model"]
+__all__ = [
+    "Jacobi2DSpec",
+    "TwoDEmulator",
+    "TwoDModel",
+    "TwoDReport",
+    "TwoDNodeReport",
+    "build_2d_model",
+]
 
 #: Direction order for halo sends/receives (fixed, mirrored by the model).
 DIRECTIONS = ("north", "south", "west", "east")
@@ -95,19 +107,28 @@ class TwoDEmulator:
         iterations: Optional[int] = None,
         instrumented: bool = False,
         collector: Optional["_TwoDCollector"] = None,
+        telemetry: Optional[Recorder] = None,
     ) -> float:
         if dist.n_nodes != self.cluster.n_nodes:
             raise SimulationError("grid shape does not cover the cluster")
         if dist.n_rows != self.spec.n_rows or dist.n_cols != self.spec.n_cols:
             raise SimulationError("distribution does not cover the array")
         n_iter = iterations if iterations is not None else self.spec.iterations
-        engine = Engine()
-        for rank in range(dist.n_nodes):
-            engine.add_process(
-                self._node(rank, dist, n_iter, instrumented, collector),
-                node=rank,
-            )
-        return engine.run()
+        rec = as_recorder(telemetry)
+        with rec.span("sim/twod/run"):
+            engine = Engine()
+            for rank in range(dist.n_nodes):
+                engine.add_process(
+                    self._node(rank, dist, n_iter, instrumented, collector),
+                    node=rank,
+                )
+            seconds = engine.run()
+        if rec:
+            rec.count("sim/twod/runs")
+            rec.set("sim/twod/nodes", dist.n_nodes)
+            rec.set("sim/twod/iterations", n_iter)
+            rec.observe("sim/twod/seconds", seconds)
+        return seconds
 
     def _node(self, rank, dist, n_iter, instrumented, collector):
         spec = self.spec
@@ -279,16 +300,130 @@ class TwoDInputs:
     micro: Microbenchmarks
 
 
+@dataclass(frozen=True)
+class TwoDNodeReport:
+    """Per-rank slice of a 2-D prediction."""
+
+    rank: int
+    grid_coords: Tuple[int, int]
+    tile: Tuple[int, int]
+    total_seconds: float
+
+
+@dataclass(frozen=True)
+class TwoDReport:
+    """Full 2-D prediction: the total plus every rank's clock total."""
+
+    distribution: GenBlock2D
+    total_seconds: float
+    nodes: Tuple[TwoDNodeReport, ...]
+
+
 class TwoDModel:
-    """The MHETA equations over 2-D tiles."""
+    """The MHETA equations over 2-D tiles.
+
+    Mirrors :class:`repro.core.model.MhetaModel`'s surface: the
+    consolidated :meth:`predict` entry point (scalar, ``report=True``,
+    ``batch=True``/``"serial"``), the ``kernel="scalar"|"numpy"|"plan"``
+    knob, a content :attr:`fingerprint`, and compiled plans shared
+    through the process-wide plan LRU (``kernel="plan"``).  The scalar
+    kernel is the per-rank reference loop; the numpy and plan kernels
+    score whole candidate populations through the max-plus iteration
+    matrices of :mod:`repro.twod.plan2d`.
+    """
 
     def __init__(
-        self, cluster: ClusterSpec, spec: Jacobi2DSpec, inputs: TwoDInputs
+        self,
+        cluster: ClusterSpec,
+        spec: Jacobi2DSpec,
+        inputs: TwoDInputs,
+        *,
+        kernel: str = "numpy",
     ) -> None:
+        if kernel not in KERNELS:
+            raise ModelError(
+                f"unknown kernel {kernel!r}; choose from {KERNELS}"
+            )
         self.cluster = cluster
         self.spec = spec
         self.inputs = inputs
+        self.kernel = kernel
         self._timeline = SectionTimeline(inputs.micro, cluster.n_nodes)
+        self._fingerprint: Optional[str] = None
+        # grid shape -> plan.  ``kernel="plan"`` entries come from the
+        # process-wide plan LRU; ``kernel="numpy"`` builds private ones
+        # (vectorized, but no numba and no cross-model sharing).
+        self._plans: Dict[Tuple[int, int], object] = {}
+
+    @property
+    def n_nodes(self) -> int:
+        return self.cluster.n_nodes
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the (workload spec, cluster, instrumented
+        inputs) triple; compiled 2-D plans are shared process-wide under
+        this key qualified by the grid shape."""
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            d0 = self.inputs.distribution0
+            h.update(
+                repr(
+                    (
+                        self.cluster.name,
+                        tuple(self.cluster.cpu_powers),
+                        tuple(self.cluster.memory_bytes),
+                        self.spec,
+                        d0.row_counts,
+                        d0.col_counts,
+                        self.inputs.compute_seconds,
+                        self.inputs.read_per_byte,
+                        self.inputs.write_per_byte,
+                        self.inputs.micro,
+                    )
+                ).encode()
+            )
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    # -- compiled plans ---------------------------------------------------------
+
+    def ensure_plan(
+        self,
+        grid_shape: Optional[Tuple[int, int]] = None,
+        telemetry: Optional[Recorder] = None,
+    ):
+        """Resolve the evaluation plan for ``grid_shape`` (default: the
+        instrumented baseline's shape) under the current kernel."""
+        if grid_shape is None:
+            grid_shape = self.inputs.distribution0.grid_shape
+        plan = self._plans.get(grid_shape)
+        if plan is None:
+            from repro.twod.plan2d import EvaluationPlan2D, get_plan2d
+
+            if self.kernel == "plan":
+                plan = get_plan2d(self, grid_shape, telemetry)
+            else:
+                plan = EvaluationPlan2D(self, grid_shape)
+            self._plans[grid_shape] = plan
+        return plan
+
+    def release_plans(self) -> None:
+        """Drop this model's plans (and, for ``kernel="plan"``, their
+        process-wide LRU entries)."""
+        if self.kernel == "plan" and self._plans:
+            from repro.core.plan import discard_plan
+
+            for plan in self._plans.values():
+                discard_plan(plan.fingerprint)
+        self._plans = {}
+
+    def __getstate__(self) -> dict:
+        # Plans hold scratch and memo buffers; workers recompile (or hit
+        # their own process's plan LRU) lazily after unpickling.
+        state = self.__dict__.copy()
+        state["_plans"] = {}
+        return state
 
     # -- per-node stage time ----------------------------------------------------
 
@@ -324,11 +459,158 @@ class TwoDModel:
 
     # -- prediction ------------------------------------------------------------
 
+    def predict(
+        self,
+        distribution,
+        iterations: Optional[int] = None,
+        *,
+        batch=False,
+        report: bool = False,
+        telemetry: Optional[Recorder] = None,
+    ):
+        """The consolidated 2-D prediction entry point.
+
+        ``predict(dist)``
+            predicted total seconds (``float``).
+        ``predict(dist, report=True)``
+            a :class:`TwoDReport` with per-rank clock totals.
+        ``predict(dists, batch=True)``
+            an ``np.ndarray`` scoring a whole candidate population in
+            one vectorized pass per grid shape (``<= 1e-12`` relative
+            vs. the serial path).
+        ``predict(dists, batch="serial")``
+            a ``List[float]`` from the per-candidate loop.
+        """
+        rec = as_recorder(telemetry)
+        if batch:
+            if report:
+                raise ModelError(
+                    "report=True is only available for single predictions"
+                )
+            dists = list(distribution)
+            if batch == "serial":
+                out = [self._predict_one(d, iterations) for d in dists]
+            else:
+                out = self._predict_batch(dists, iterations, telemetry=rec)
+            if rec:
+                rec.count("model/predictions", len(dists))
+                rec.count("model/batch_predictions")
+                rec.observe("model/batch_size", len(dists))
+                self._record_plan_gauges(rec)
+            return out
+        if report:
+            result = self._report(distribution, iterations)
+        else:
+            result = self._predict_one(distribution, iterations)
+        if rec:
+            rec.count("model/predictions")
+            self._record_plan_gauges(rec)
+        return result
+
     def predict_seconds(
         self, dist: GenBlock2D, iterations: Optional[int] = None
     ) -> float:
+        """Deprecated alias for :meth:`predict`."""
+        warn_once(
+            "TwoDModel.predict_seconds", "TwoDModel.predict(distribution)"
+        )
+        return self.predict(dist, iterations)
+
+    def _record_plan_gauges(self, rec: Recorder) -> None:
+        if self.kernel == "plan":
+            from repro.core.plan import plan_cache_stats
+
+            stats = plan_cache_stats()
+            rec.set("model/plan_cache/size", stats["size"])
+            rec.set("model/plan_cache/hits", stats["hits"])
+            rec.set("model/plan_cache/misses", stats["misses"])
+            rec.set("model/plan_cache/compiles", stats["compiles"])
+
+    def _validate(self, dist: GenBlock2D) -> None:
         if dist.n_nodes != self.cluster.n_nodes:
             raise ModelError("grid shape does not cover the cluster")
+
+    def _predict_one(
+        self, dist: GenBlock2D, iterations: Optional[int]
+    ) -> float:
+        if self.kernel == "scalar":
+            return max(self._scalar_totals(dist, iterations))
+        # Batch of one: bitwise equal to that candidate's batch row.
+        return float(self._predict_batch([dist], iterations)[0])
+
+    def _report(
+        self, dist: GenBlock2D, iterations: Optional[int]
+    ) -> TwoDReport:
+        if self.kernel == "scalar":
+            totals = self._scalar_totals(dist, iterations)
+        else:
+            self._validate(dist)
+            n_iter = (
+                iterations if iterations is not None else self.spec.iterations
+            )
+            plan = self.ensure_plan(dist.grid_shape)
+            rowc = np.asarray([dist.row_counts], dtype=np.int64)
+            colc = np.asarray([dist.col_counts], dtype=np.int64)
+            totals = plan.execute(
+                rowc,
+                colc,
+                n_iter,
+                allow_numba=self.kernel == "plan",
+                reduce=False,
+            )[0]
+        nodes = tuple(
+            TwoDNodeReport(
+                rank=r,
+                grid_coords=dist.coords(r),
+                tile=dist.tile(r),
+                total_seconds=float(totals[r]),
+            )
+            for r in range(self.cluster.n_nodes)
+        )
+        return TwoDReport(
+            distribution=dist,
+            total_seconds=float(max(totals)),
+            nodes=nodes,
+        )
+
+    def _predict_batch(
+        self,
+        dists: Sequence[GenBlock2D],
+        iterations: Optional[int] = None,
+        telemetry: Optional[Recorder] = None,
+    ) -> np.ndarray:
+        """Score a candidate population, one vectorized pass per grid
+        shape (populations may mix shapes; results come back in input
+        order)."""
+        n_iter = iterations if iterations is not None else self.spec.iterations
+        out = np.empty(len(dists))
+        if self.kernel == "scalar":
+            for i, d in enumerate(dists):
+                out[i] = max(self._scalar_totals(d, iterations))
+            return out
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for i, d in enumerate(dists):
+            self._validate(d)
+            groups.setdefault(d.grid_shape, []).append(i)
+        for shape, idxs in groups.items():
+            plan = self.ensure_plan(shape, telemetry)
+            rowc = np.asarray(
+                [dists[i].row_counts for i in idxs], dtype=np.int64
+            )
+            colc = np.asarray(
+                [dists[i].col_counts for i in idxs], dtype=np.int64
+            )
+            out[idxs] = plan.execute(
+                rowc, colc, n_iter, allow_numba=self.kernel == "plan"
+            )
+        return out
+
+    def _scalar_totals(
+        self, dist: GenBlock2D, iterations: Optional[int] = None
+    ) -> List[float]:
+        """The per-rank reference loop: every rank's predicted clock
+        total (the scalar prediction is their max)."""
+        self._validate(dist)
         n_iter = iterations if iterations is not None else self.spec.iterations
         P = self.cluster.n_nodes
         net = self.inputs.micro
@@ -351,11 +633,11 @@ class TwoDModel:
                     break
                 prev_steady = steady
         if n_iter == 1 or len(ends) < 2:
-            return max(ends[0])
+            return list(ends[0])
         steady = [ends[-1][n] - ends[-2][n] for n in range(P)]
-        return max(
+        return [
             ends[-1][n] + steady[n] * (n_iter - simulate) for n in range(P)
-        )
+        ]
 
     def _iterate(self, dist, stage, start, net):
         """One iteration's max-plus mirror: stage, halos, allreduce."""
@@ -398,6 +680,7 @@ def build_2d_model(
     perturbation: Optional[PerturbationConfig] = None,
     measurement: Optional[MeasurementConfig] = None,
     micro: Optional[Microbenchmarks] = None,
+    kernel: str = "numpy",
 ) -> TwoDModel:
     """Instrument one 2-D iteration under ``d0`` and build the model."""
     measurement = measurement or MeasurementConfig()
@@ -430,4 +713,4 @@ def build_2d_model(
         write_per_byte=tuple(write_pb),
         micro=micro,
     )
-    return TwoDModel(cluster, spec, inputs)
+    return TwoDModel(cluster, spec, inputs, kernel=kernel)

@@ -165,3 +165,64 @@ class TestFileWorkflow:
         )
         assert "actual" in out and "predicted" in out
         assert "|" in out  # the chart frame
+
+
+class TestTwoDCli:
+    def test_predict_twod_roundtrip(self, capsys):
+        out = run_cli(
+            capsys,
+            "predict", "jacobi", "--config", "DC",
+            "--twod", "2x4", "--kernel", "plan", "--verify", *SCALE,
+        )
+        assert "2x4 grid" in out
+        assert "kernel=plan" in out
+        assert "predicted:" in out
+        assert "rank 7" in out  # per-rank report lines
+        assert "error" in out  # --verify ran the 2-D emulator
+
+    def test_predict_twod_explicit_bands(self, capsys):
+        out = run_cli(
+            capsys,
+            "predict", "jacobi", "--config", "DC",
+            "--twod", "2x4", "--rows", "800,618", *SCALE,
+        )
+        assert "rows=[800, 618]" in out
+
+    def test_predict_twod_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["predict", "jacobi", "--config", "DC",
+                 "--twod", "3x3", *SCALE]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["predict", "jacobi", "--config", "DC",
+                 "--twod", "nope", *SCALE]
+            )
+
+    def test_predict_twod_non_jacobi_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["predict", "cg", "--config", "DC", "--twod", "2x4", *SCALE]
+            )
+
+    def test_search_twod_single_shape(self, capsys):
+        out = run_cli(
+            capsys,
+            "search", "jacobi", "--config", "DC",
+            "--twod", "2x4", "--budget", "60", *SCALE,
+        )
+        assert "twod-gbs" in out
+        assert "2x4:" in out
+
+    def test_search_twod_all_shapes_with_telemetry(self, capsys):
+        out = run_cli(
+            capsys,
+            "search", "jacobi", "--config", "DC",
+            "--twod", "all", "--kernel", "plan",
+            "--budget", "60", "--telemetry", "text", *SCALE,
+        )
+        for shape in ("1x8", "2x4", "4x2", "8x1"):
+            assert f"{shape}:" in out
+        assert "<-" in out  # winner marker
+        assert "span/search/twod" in out

@@ -1,0 +1,362 @@
+"""Golden equivalence and plan-cache contract for the batched 2-D kernel.
+
+The 2-D analogue of ``test_kernel_equivalence.py`` + ``test_plan.py``:
+the scalar reference loop, the vectorized numpy kernel, and the compiled
+plan kernel must agree to <= 1e-12 relative on any valid ``GenBlock2D``,
+across cluster configurations (including heterogeneous memory where some
+tiles stream out-of-core); batched scoring must be bitwise equal to the
+serial path; and compiled 2-D plans share the process-wide LRU exactly
+like their 1-D siblings.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import baseline_cluster, config_dc
+from repro.core import plan as planmod
+from repro.core.plan import discard_plan, plan_cache_stats, reset_plan_cache
+from repro.distribution import largest_remainder_round
+from repro.exceptions import ModelError
+from repro.instrument.collect import MeasurementConfig
+from repro.obs import Recorder
+from repro.sim import PerturbationConfig
+from repro.twod import (
+    GenBlock2D,
+    Jacobi2DSpec,
+    TwoDModel,
+    block2d,
+    build_2d_model,
+    factor_pairs,
+)
+from repro.util.units import mib
+
+IDEAL = PerturbationConfig.none()
+PERFECT = MeasurementConfig.perfect()
+REL_TOL = 1e-12
+
+COMMON = settings(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=30,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan_cache():
+    reset_plan_cache()
+    yield
+    reset_plan_cache()
+
+
+def _mixed_cluster():
+    base = baseline_cluster()
+    powers = [1.0, 0.5, 2.0, 1.0, 1.0, 1.5, 1.0, 1.0]
+    memories = [96, 4, 96, 8, 96, 96, 4, 96]
+    nodes = [
+        n.with_(cpu_power=powers[i], memory_bytes=mib(memories[i]))
+        for i, n in enumerate(base.nodes)
+    ]
+    return base.with_nodes(nodes, name="mixed2d")
+
+
+CLUSTERS = {"mixed2d": _mixed_cluster, "DC": config_dc}
+
+_MODEL_CACHE = {}
+
+
+def _models(cluster_name="mixed2d"):
+    """(scalar, numpy, plan) sibling models over identical inputs."""
+    if cluster_name not in _MODEL_CACHE:
+        cluster = CLUSTERS[cluster_name]()
+        spec = Jacobi2DSpec(n_rows=512, n_cols=384, iterations=4)
+        d0 = block2d(spec.n_rows, spec.n_cols, (2, 4))
+        base = build_2d_model(
+            cluster, spec, d0, perturbation=IDEAL, measurement=PERFECT
+        )
+        _MODEL_CACHE[cluster_name] = tuple(
+            TwoDModel(cluster, spec, base.inputs, kernel=k)
+            for k in ("scalar", "numpy", "plan")
+        )
+    scalar, numpy_m, plan = _MODEL_CACHE[cluster_name]
+    # Plans may reference the (reset) process-wide LRU: start fresh.
+    plan.release_plans()
+    numpy_m.release_plans()
+    return scalar, numpy_m, plan
+
+
+def _dists(scalar, rng_seed=0, per_shape=3):
+    rng = np.random.RandomState(rng_seed)
+    spec = scalar.spec
+    out = []
+    for shape in factor_pairs(scalar.n_nodes):
+        R, C = shape
+        out.append(block2d(spec.n_rows, spec.n_cols, shape))
+        for _ in range(per_shape - 1):
+            rows = largest_remainder_round(
+                rng.uniform(0.5, 2.0, size=R), spec.n_rows, minimum=1
+            )
+            cols = largest_remainder_round(
+                rng.uniform(0.5, 2.0, size=C), spec.n_cols, minimum=1
+            )
+            out.append(GenBlock2D(rows, cols))
+    return out
+
+
+# -- golden equivalence -------------------------------------------------------
+
+
+@pytest.mark.parametrize("cluster_name", sorted(CLUSTERS))
+def test_three_kernels_agree(cluster_name):
+    scalar, numpy_m, plan = _models(cluster_name)
+    for d in _dists(scalar):
+        want = scalar.predict(d)
+        assert numpy_m.predict(d) == pytest.approx(want, rel=REL_TOL)
+        assert plan.predict(d) == pytest.approx(want, rel=REL_TOL)
+
+
+@COMMON
+@given(
+    shape_i=st.integers(0, 3),
+    row_w=st.lists(
+        st.floats(0.1, 10.0, allow_nan=False), min_size=8, max_size=8
+    ),
+    col_w=st.lists(
+        st.floats(0.1, 10.0, allow_nan=False), min_size=8, max_size=8
+    ),
+)
+def test_kernels_agree_on_generated_layouts(shape_i, row_w, col_w):
+    scalar, numpy_m, plan = _models()
+    spec = scalar.spec
+    shapes = factor_pairs(scalar.n_nodes)
+    R, C = shapes[shape_i % len(shapes)]
+    d = GenBlock2D(
+        largest_remainder_round(
+            np.array(row_w[:R]), spec.n_rows, minimum=1
+        ),
+        largest_remainder_round(
+            np.array(col_w[:C]), spec.n_cols, minimum=1
+        ),
+    )
+    want = scalar.predict(d)
+    assert numpy_m.predict(d) == pytest.approx(want, rel=REL_TOL)
+    assert plan.predict(d) == pytest.approx(want, rel=REL_TOL)
+
+
+def test_batch_is_bitwise_equal_to_serial():
+    _, numpy_m, plan = _models()
+    dists = _dists(numpy_m, rng_seed=1)
+    for model in (numpy_m, plan):
+        batched = model.predict(dists, batch=True)
+        serial = model.predict(dists, batch="serial")
+        assert isinstance(batched, np.ndarray)
+        assert batched.tolist() == serial
+
+
+def test_single_call_is_bitwise_equal_to_batch_row():
+    _, _, plan = _models()
+    dists = _dists(plan, rng_seed=2)
+    batched = plan.predict(dists, batch=True)
+    for d, want in zip(dists, batched):
+        assert plan.predict(d) == want
+
+
+def test_report_totals_match_prediction():
+    scalar, _, plan = _models()
+    d = block2d(scalar.spec.n_rows, scalar.spec.n_cols, (4, 2))
+    for model in (scalar, plan):
+        rep = model.predict(d, report=True)
+        assert len(rep.nodes) == model.n_nodes
+        worst = max(n.total_seconds for n in rep.nodes)
+        assert rep.total_seconds == pytest.approx(worst, rel=REL_TOL)
+        assert rep.total_seconds == pytest.approx(
+            model.predict(d), rel=REL_TOL
+        )
+
+
+def test_iterations_override_changes_result():
+    _, _, plan = _models()
+    d = block2d(plan.spec.n_rows, plan.spec.n_cols, (2, 4))
+    full = plan.predict(d)
+    short = plan.predict(d, iterations=1)
+    assert 0 < short < full
+
+
+# -- plan cache ---------------------------------------------------------------
+
+
+def test_equivalent_models_share_one_plan_per_shape():
+    _, _, plan = _models()
+    twin = TwoDModel(plan.cluster, plan.spec, plan.inputs, kernel="plan")
+    assert twin.fingerprint == plan.fingerprint
+    pa = plan.ensure_plan((2, 4))
+    pb = twin.ensure_plan((2, 4))
+    assert pa is pb
+    stats = plan_cache_stats()
+    assert stats["compiles"] == 1
+    assert stats["hits"] == 1
+
+
+def test_distinct_shapes_compile_distinct_plans():
+    _, _, plan = _models()
+    plans = {
+        id(plan.ensure_plan(shape))
+        for shape in factor_pairs(plan.n_nodes)
+    }
+    assert len(plans) == len(factor_pairs(plan.n_nodes))
+    assert plan_cache_stats()["compiles"] == len(plans)
+    # Shape-qualified fingerprints keep entries distinct in the LRU.
+    fps = {plan.ensure_plan(s).fingerprint for s in factor_pairs(8)}
+    assert len(fps) == len(plans)
+    for fp in fps:
+        assert ":2d:" in fp
+
+
+def test_numpy_kernel_builds_private_plans():
+    _, numpy_m, _ = _models()
+    numpy_m.predict(
+        [block2d(numpy_m.spec.n_rows, numpy_m.spec.n_cols, (2, 4))],
+        batch=True,
+    )
+    assert plan_cache_stats()["size"] == 0  # nothing went process-wide
+
+
+def test_release_plans_discards_cache_entries():
+    _, _, plan = _models()
+    plan.ensure_plan((2, 4))
+    plan.ensure_plan((4, 2))
+    assert plan_cache_stats()["size"] == 2
+    plan.release_plans()
+    assert plan._plans == {}
+    assert plan_cache_stats()["size"] == 0
+    plan.release_plans()  # releasing twice is a no-op
+    assert not discard_plan("no-such-fingerprint")
+
+
+def test_plan_results_survive_release_and_recompile():
+    _, _, plan = _models()
+    dists = _dists(plan, rng_seed=3)
+    before = plan.predict(dists, batch=True)
+    plan.release_plans()
+    after = plan.predict(dists, batch=True)
+    assert (before == after).all()
+
+
+def test_pickled_model_drops_plans_and_recompiles():
+    _, _, plan = _models()
+    dists = _dists(plan, rng_seed=4)
+    want = plan.predict(dists, batch=True)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone._plans == {}
+    got = clone.predict(dists, batch=True)
+    assert (want == got).all()
+
+
+def test_matrix_memo_is_bounded():
+    _, _, plan = _models()
+    spec = plan.spec
+    rng = np.random.RandomState(11)
+    compiled = plan.ensure_plan((2, 4))
+    seen = set()
+    while len(seen) < 12:
+        rows = tuple(
+            largest_remainder_round(
+                rng.uniform(0.5, 2.0, size=2), spec.n_rows, minimum=1
+            )
+        )
+        cols = tuple(
+            largest_remainder_round(
+                rng.uniform(0.5, 2.0, size=4), spec.n_cols, minimum=1
+            )
+        )
+        if (rows, cols) in seen:
+            continue
+        seen.add((rows, cols))
+        plan.predict([GenBlock2D(rows, cols)], batch=True)
+    assert len(compiled._m_memo) <= 8
+
+
+def test_plan_stats_shape():
+    _, _, plan = _models()
+    plan.predict(
+        _dists(plan, rng_seed=5, per_shape=1), batch=True
+    )
+    stats = plan.ensure_plan((2, 4)).stats
+    assert stats["mode"] == "matrix2d"
+    assert stats["grid_shape"] == (2, 4)
+    assert stats["executes"] >= 1
+
+
+# -- errors -------------------------------------------------------------------
+
+
+def test_unknown_kernel_rejected():
+    _, _, plan = _models()
+    with pytest.raises(ModelError):
+        TwoDModel(plan.cluster, plan.spec, plan.inputs, kernel="cuda")
+
+
+def test_wrong_coverage_rejected():
+    _, _, plan = _models()
+    with pytest.raises(ModelError):
+        plan.predict(block2d(plan.spec.n_rows, plan.spec.n_cols, (2, 2)))
+    with pytest.raises(ModelError):
+        plan.ensure_plan((3, 3))
+
+
+def test_report_plus_batch_rejected():
+    _, _, plan = _models()
+    d = block2d(plan.spec.n_rows, plan.spec.n_cols, (2, 4))
+    with pytest.raises(ModelError):
+        plan.predict([d], batch=True, report=True)
+
+
+# -- telemetry ----------------------------------------------------------------
+
+
+def test_batch_telemetry_and_plan_gauges():
+    _, _, plan = _models()
+    rec = Recorder()
+    dists = _dists(plan, rng_seed=6, per_shape=1)
+    plan.predict(dists, batch=True, telemetry=rec)
+    assert rec.counters["model/predictions"] == len(dists)
+    assert rec.counters["model/batch_predictions"] == 1
+    assert rec.gauges["model/plan_cache/size"] >= 1
+    assert rec.gauges["model/plan_cache/compiles"] >= 1
+    flat = str(rec.snapshot())
+    assert "plan/compile" in flat
+
+
+# -- numba gate ---------------------------------------------------------------
+
+
+def test_numba_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_NUMBA", "0")
+    planmod._reset_numba_for_tests()
+    try:
+        assert planmod._resolve_numba_walk() is None
+        _, _, plan = _models()
+        d = block2d(plan.spec.n_rows, plan.spec.n_cols, (2, 4))
+        assert plan.predict(d) > 0
+    finally:
+        planmod._reset_numba_for_tests()
+
+
+def test_numba_walk_matches_dense_fallback():
+    """Whatever the environment, the plan kernel's answer must equal the
+    pure-numpy walk's (when numba is present they share results; when
+    absent this is trivially the same code path)."""
+    planmod._reset_numba_for_tests()
+    try:
+        scalar, _, plan = _models()
+        dists = _dists(plan, rng_seed=7, per_shape=2)
+        out = plan.predict(dists, batch=True)
+        want = np.array([scalar.predict(d) for d in dists])
+        np.testing.assert_allclose(out, want, rtol=REL_TOL)
+    finally:
+        planmod._reset_numba_for_tests()
