@@ -256,6 +256,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel(p)
     _add_telemetry(p)
 
+    p = sub.add_parser(
+        "verify",
+        help="batched ground-truth emulation of candidate distributions",
+    )
+    p.add_argument("app", choices=APPS)
+    p.add_argument(
+        "--dist", default="blk,bal,ic,icbal", metavar="A[,A...]",
+        help=f"comma-separated anchors from {ANCHORS} "
+        "(default: all four)",
+    )
+    p.add_argument(
+        "--counts", action="append", default=None, metavar="N,N,...",
+        help="explicit GEN_BLOCK row counts (repeatable; added after "
+        "the --dist anchors)",
+    )
+    p.add_argument(
+        "--batch", type=int, default=0, metavar="B",
+        help="candidates per batched emulation pass (0 = the whole "
+        "population in one pass; results are identical either way)",
+    )
+    p.add_argument("--prefetch", action="store_true")
+    p.add_argument(
+        "--run-cache", default=None, metavar="PATH",
+        help="persistent on-disk RunCache tier (merge-on-save, atomic "
+        "writes); repeated invocations skip redundant emulation",
+    )
+    _add_common(p)
+    _add_jobs(p)
+    _add_telemetry(p)
+
     p = sub.add_parser("adaptive", help="the Section-6 adaptive runtime")
     p.add_argument("app", choices=APPS)
     _add_common(p)
@@ -327,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep-cache", default=None, metavar="PATH",
         help="on-disk (actual, predicted) tier shared by a fleet of "
         "server processes (merge-on-save, atomic writes)",
+    )
+    p.add_argument(
+        "--run-cache", default=None, metavar="PATH",
+        help="on-disk RunCache tier for the raw emulation results "
+        "behind verify queries (same merge-on-save discipline)",
     )
     p.add_argument(
         "--max-requests", type=int, default=None, metavar="N",
@@ -756,6 +791,84 @@ def _cmd_stats(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_verify(args) -> str:
+    """Batched ground-truth emulation of a population of candidates."""
+    from repro.distribution import GenBlock
+    from repro.sim.executor import emulate_many
+
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale, args.prefetch)
+    dists, labels = [], []
+    for name in [n for n in args.dist.split(",") if n]:
+        dists.append(_anchor(name, cluster, program))
+        labels.append(name.lower())
+    for spec in args.counts or []:
+        try:
+            counts = tuple(int(v) for v in spec.replace(" ", "").split(","))
+        except ValueError:
+            raise SystemExit(f"--counts expects comma-separated integers, got {spec!r}")
+        if len(counts) != len(cluster.nodes):
+            raise SystemExit(
+                f"--counts needs {len(cluster.nodes)} entries for "
+                f"{args.config}, got {len(counts)}"
+            )
+        if sum(counts) != program.n_rows:
+            raise SystemExit(
+                f"--counts must sum to the program's {program.n_rows} rows "
+                f"at scale {args.scale}, got {sum(counts)}"
+            )
+        dists.append(GenBlock(counts))
+        labels.append("counts")
+    if not dists:
+        raise SystemExit("no distributions to verify")
+
+    store = None
+    if args.run_cache:
+        from repro.parallel.cache import RunCache
+
+        store = RunCache(path=args.run_cache)
+    rec = _telemetry_recorder(args)
+
+    if args.jobs != 1:
+        from repro.parallel import verify_distributions
+
+        seconds = verify_distributions(
+            cluster, program, dists,
+            jobs=args.jobs, cache=store, telemetry=rec,
+        )
+        flags = [""] * len(dists)
+    else:
+        batch = args.batch if args.batch > 0 else len(dists)
+        seconds, flags = [], []
+        for lo in range(0, len(dists), batch):
+            for result in emulate_many(
+                cluster, program, dists[lo:lo + batch],
+                cache=store, telemetry=rec,
+            ):
+                seconds.append(result.total_seconds)
+                flags.append(
+                    "  (fast-forwarded)" if result.fast_forwarded else ""
+                )
+    if store is not None:
+        store.save()
+
+    width = max(len(label) for label in labels)
+    lines = [
+        f"verify {args.app} on {args.config} "
+        f"(scale {args.scale}, {len(dists)} candidates)"
+    ]
+    for label, d, actual, flag in zip(labels, dists, seconds, flags):
+        lines.append(
+            f"  {label:<{width}s}  {actual:12.6f}s  "
+            f"{list(d.counts)}{flag}"
+        )
+    tele = _render_telemetry(rec, args)
+    if tele:
+        lines.append("")
+        lines.append(tele)
+    return "\n".join(lines)
+
+
 def _cmd_serve(args) -> str:
     """Run the advisor service until a ``shutdown`` query (or
     ``--max-requests``) stops it; returns the final telemetry dump."""
@@ -767,6 +880,11 @@ def _cmd_serve(args) -> str:
     from repro.parallel import SweepCache
 
     cache = SweepCache(args.sweep_cache) if args.sweep_cache else None
+    run_cache = None
+    if getattr(args, "run_cache", None):
+        from repro.parallel.cache import RunCache
+
+        run_cache = RunCache(path=args.run_cache)
     coordinator = ServeCoordinator(
         kernel=args.kernel,
         window_seconds=args.window_ms / 1000.0,
@@ -774,6 +892,7 @@ def _cmd_serve(args) -> str:
         batch_mode=args.batch_mode,
         jobs=args.jobs,
         sweep_cache=cache,
+        run_cache=run_cache,
         model_cache_entries=args.model_cache,
         telemetry=rec,
     )
@@ -885,6 +1004,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_analyse(args))
     elif args.command == "search":
         print(_cmd_search(args))
+    elif args.command == "verify":
+        print(_cmd_verify(args))
     elif args.command == "adaptive":
         print(_cmd_adaptive(args))
     elif args.command == "accuracy":

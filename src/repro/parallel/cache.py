@@ -27,8 +27,9 @@ import json
 import os
 import tempfile
 import threading
+import weakref
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -114,14 +115,48 @@ def _file_lock(path: Path) -> Iterator[None]:
         os.close(fd)
 
 
+def _digest(tokens: Any) -> str:
+    """SHA-256 hex digest of already-canonicalised tokens."""
+    payload = json.dumps(tokens, separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def content_key(*objects: Any) -> str:
     """SHA-256 hex digest of the objects' canonical content encoding."""
-    payload = json.dumps(
-        [_canonical(obj) for obj in objects],
-        separators=(",", ":"),
-        sort_keys=False,
+    return _digest([_canonical(obj) for obj in objects])
+
+
+# Identity-memoised partial digests for the run-cache hot path: a batch
+# (or a hit-heavy loop) re-keys the same cluster/program objects over
+# and over, and canonicalising a full ProgramStructure dominates the
+# cost of a cache hit.  Keys are object identities guarded by weakrefs
+# (a recycled id() after garbage collection must never alias), and the
+# memo is tiny — a handful of live configurations at a time.
+_KEY_BASE_MEMO: Dict[tuple, Tuple[tuple, str]] = {}
+_KEY_BASE_MEMO_MAX = 128
+
+
+def _weak_guards(objects: tuple) -> Optional[tuple]:
+    """Weak references proving the memoised identities are still the
+    same objects; ``None`` when any object is not weakref-able."""
+    refs = []
+    for obj in objects:
+        if obj is None:
+            refs.append(None)
+            continue
+        try:
+            refs.append(weakref.ref(obj))
+        except TypeError:
+            return None
+    return tuple(refs)
+
+
+def _guards_hold(refs: tuple, objects: tuple) -> bool:
+    return all(
+        (ref is None and obj is None)
+        or (ref is not None and ref() is obj)
+        for ref, obj in zip(refs, objects)
     )
-    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 class SweepCache:
@@ -316,12 +351,85 @@ class RunCache:
     everywhere else, and the store is the same bounded LRU as the
     prediction table cache (:class:`repro.util.lru.LRUCache`), so long
     sweeps hold memory at a fixed ceiling.
+
+    The stored payload is *frozen* — its mutable list fields are
+    converted to tuples on :meth:`put` and fresh lists are rebuilt on
+    :meth:`get` — so a caller mutating a returned result can never
+    poison the cache, without the deep defensive copy the hit path
+    used to pay.
+
+    ``path`` adds an optional on-disk tier with :class:`SweepCache`
+    semantics: loaded eagerly, persisted by :meth:`save` as an atomic
+    read-merge-replace under the parent-directory file lock, so a fleet
+    of processes shares one emulation history.
     """
 
     DEFAULT_MAX_ENTRIES = 512
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        path: Optional[Union[str, Path]] = None,
+    ) -> None:
         self._store = LRUCache(max_entries)
+        self._lock = threading.RLock()
+        self.path = Path(path) if path is not None else None
+        self.loaded_from_disk = 0
+        if self.path is not None and self.path.exists():
+            for k, result in self._read_disk().items():
+                self._store.put(k, result)
+                self.loaded_from_disk += 1
+
+    @staticmethod
+    def key_base(
+        cluster,
+        program,
+        iterations: int,
+        perturbation,
+        *,
+        instrumented: bool = False,
+        fast_forward: bool = True,
+    ) -> str:
+        """Partial content hash over everything but the distribution.
+
+        Memoised on object identity (weakref-guarded), because batched
+        emulation and hit-heavy loops re-key the same cluster/program
+        objects constantly and canonicalising them dominates a hit.
+        """
+        objects = (cluster, program, perturbation)
+        memo_key = (
+            id(cluster), id(program), id(perturbation),
+            int(iterations), bool(instrumented), bool(fast_forward),
+        )
+        entry = _KEY_BASE_MEMO.get(memo_key)
+        if entry is not None:
+            refs, base = entry
+            if _guards_hold(refs, objects):
+                return base
+        base = _digest(
+            [
+                "run",
+                _canonical(cluster),
+                _canonical(program),
+                int(iterations),
+                _canonical(perturbation),
+                bool(instrumented),
+                bool(fast_forward),
+            ]
+        )
+        refs = _weak_guards(objects)
+        if refs is not None:
+            if len(_KEY_BASE_MEMO) >= _KEY_BASE_MEMO_MAX:
+                _KEY_BASE_MEMO.clear()
+            _KEY_BASE_MEMO[memo_key] = (refs, base)
+        return base
+
+    @staticmethod
+    def key_from_base(base: str, counts) -> str:
+        """Full run key from a :meth:`key_base` digest plus the
+        candidate's GEN_BLOCK row counts."""
+        payload = base + "|" + ",".join(str(int(c)) for c in counts)
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     @staticmethod
     def key(
@@ -341,22 +449,60 @@ class RunCache:
         that explicitly asked for full simulation must never receive a
         fast-forwarded result (or vice versa).
         """
-        return content_key(
-            cluster,
-            program,
-            tuple(distribution.counts),
-            int(iterations),
-            perturbation,
-            bool(instrumented),
-            bool(fast_forward),
+        return RunCache.key_from_base(
+            RunCache.key_base(
+                cluster,
+                program,
+                iterations,
+                perturbation,
+                instrumented=instrumented,
+                fast_forward=fast_forward,
+            ),
+            distribution.counts,
+        )
+
+    # -- frozen payloads ------------------------------------------------------
+
+    @staticmethod
+    def _freeze(result):
+        """Immutable-field copy safe to share from the cache."""
+        if not hasattr(result, "per_node_seconds"):
+            return result
+        return dataclasses.replace(
+            result,
+            per_node_seconds=tuple(result.per_node_seconds),
+            iteration_ends=tuple(
+                tuple(ends) for ends in result.iteration_ends
+            ),
+        )
+
+    @staticmethod
+    def _thaw(result):
+        """Fresh mutable-field copy handed to the caller."""
+        if not hasattr(result, "per_node_seconds"):
+            return result
+        return dataclasses.replace(
+            result,
+            per_node_seconds=list(result.per_node_seconds),
+            iteration_ends=[list(ends) for ends in result.iteration_ends],
         )
 
     def get(self, key: str):
-        """The cached :class:`RunResult` for ``key``, or ``None``."""
-        return self._store.get(key)
+        """A private mutable copy of the cached
+        :class:`~repro.sim.executor.RunResult`, or ``None``."""
+        hit = self._store.get(key)
+        if hit is None:
+            return None
+        return self._thaw(hit)
 
     def put(self, key: str, result) -> None:
-        self._store.put(key, result)
+        self._store.put(key, self._freeze(result))
+
+    def put_many(self, pairs: Iterable[Tuple[str, Any]]) -> None:
+        """Store a whole batch of ``(key, result)`` pairs (one batched
+        emulation pass lands its population in one call)."""
+        for key, result in pairs:
+            self.put(key, result)
 
     def clear(self) -> None:
         self._store.clear()
@@ -374,7 +520,82 @@ class RunCache:
 
     @property
     def stats(self) -> dict:
-        return self._store.stats
+        stats = self._store.stats
+        stats["loaded_from_disk"] = self.loaded_from_disk
+        return stats
+
+    # -- on-disk tier ---------------------------------------------------------
+
+    @staticmethod
+    def _serialize(result) -> list:
+        return [
+            result.total_seconds,
+            list(result.per_node_seconds),
+            [list(ends) for ends in result.iteration_ends],
+            [int(c) for c in result.distribution.counts],
+            int(result.iterations),
+            bool(result.fast_forwarded),
+        ]
+
+    @staticmethod
+    def _deserialize(payload):
+        from repro.distribution.genblock import GenBlock
+        from repro.sim.executor import RunResult
+
+        total, per_node, ends, counts, iterations, fast = payload
+        return RunResult(
+            total_seconds=float(total),
+            per_node_seconds=tuple(float(v) for v in per_node),
+            iteration_ends=tuple(
+                tuple(float(v) for v in row) for row in ends
+            ),
+            distribution=GenBlock(tuple(int(c) for c in counts)),
+            iterations=int(iterations),
+            fast_forwarded=bool(fast),
+        )
+
+    def _read_disk(self) -> Dict[str, Any]:
+        """Parse the on-disk file into frozen results (empty mapping
+        when unreadable, matching :meth:`SweepCache._read_disk`)."""
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+            return {k: self._deserialize(v) for k, v in raw.items()}
+        except (OSError, ValueError, TypeError, KeyError):
+            return {}
+
+    def save(self) -> None:
+        """Persist to ``path`` (no-op for purely in-memory caches);
+        read-merge-replace under the parent-directory lock, exactly
+        like :meth:`SweepCache.save`."""
+        if self.path is None:
+            return
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with _file_lock(self.path):
+                merged: Dict[str, Any] = {}
+                if self.path.exists():
+                    merged.update(self._read_disk())
+                merged.update(self._store.items())
+                payload = {
+                    k: self._serialize(v) for k, v in sorted(merged.items())
+                }
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.path.parent, prefix=self.path.name,
+                    suffix=".tmp",
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                        fh.write(
+                            json.dumps(payload, indent=0, sort_keys=True)
+                            + "\n"
+                        )
+                    os.replace(tmp, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
 
 
 #: Process-wide shared run cache used by :func:`repro.sim.executor.emulate`

@@ -34,7 +34,7 @@ from repro.program.structure import ProgramStructure
 from repro.runtime.redistribution import RedistributionModel
 from repro.search.base import SearchAlgorithm
 from repro.search.gbs import GeneralizedBinarySearch
-from repro.sim.executor import emulate
+from repro.sim.executor import emulate, emulate_many
 from repro.sim.perturbation import PerturbationConfig
 from repro.util.units import seconds_to_human
 
@@ -182,18 +182,24 @@ class AdaptiveRuntime:
             redistributor.estimate(start, chosen).seconds if switch else 0.0
         )
 
-        # 4. Remaining iterations under the chosen distribution.
-        remaining_seconds = (
-            emulate(
+        # 4. Remaining iterations under the chosen distribution.  Both
+        # what-if candidates (stay vs switch) go through one batched
+        # emulation pass — the plan walks them as a single (2, P)
+        # recurrence and the RunCache dedups a kept start for free.
+        if remaining:
+            what_if = emulate_many(
                 self.cluster,
                 program,
-                chosen,
+                [start, result.best],
                 perturbation=self.perturbation,
                 iterations=remaining,
-            ).total_seconds
-            if remaining
-            else 0.0
-        )
+                telemetry=telemetry,
+            )
+            remaining_seconds = what_if[
+                1 if chosen == result.best else 0
+            ].total_seconds
+        else:
+            remaining_seconds = 0.0
 
         # Baseline: the whole job statically on the start distribution.
         static_seconds = emulate(

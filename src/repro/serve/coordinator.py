@@ -104,6 +104,12 @@ class ServeCoordinator:
         answers are looked up there first and stored back, and the
         cache is saved (merge + atomic replace) every
         ``SWEEP_CACHE_SAVE_EVERY`` stores and at shutdown.
+    run_cache:
+        Optional :class:`~repro.parallel.cache.RunCache` used by the
+        batched emulation passes behind ``verify`` (``None`` keeps the
+        process-default in-memory cache).  When constructed with a
+        ``path`` it is persisted on the same cadence as the sweep
+        cache, so a fleet shares raw emulation history too.
     model_cache_entries:
         Bound of the resident-model LRU.
     telemetry:
@@ -120,6 +126,7 @@ class ServeCoordinator:
         batch_mode: str = "vector",
         jobs: int = 1,
         sweep_cache=None,
+        run_cache=None,
         model_cache_entries: int = 16,
         telemetry: Optional[Recorder] = None,
     ) -> None:
@@ -129,6 +136,7 @@ class ServeCoordinator:
         self.batch_mode = batch_mode
         self.jobs = jobs
         self.sweep_cache = sweep_cache
+        self.run_cache = run_cache
         self.telemetry = as_recorder(telemetry)
         # Eviction must also drop the model's compiled evaluation plan
         # from the process-wide plan LRU: a resident model is the only
@@ -153,6 +161,7 @@ class ServeCoordinator:
         self._search_results = LRUCache(256)
         self._search_inflight: Dict[Tuple, asyncio.Future] = {}
         self._sweep_stores = 0
+        self._run_cache_stores = 0
         self.requests_handled = 0
         self._shutdown = asyncio.Event()
 
@@ -380,9 +389,15 @@ class ServeCoordinator:
             else:
                 pending.append(i)
         if pending:
+            worker_rec = Recorder() if rec else None
             emulated = await self._run_blocking(
-                self._emulate_pending, entry, [dists[i] for i in pending]
+                self._emulate_pending,
+                entry,
+                [dists[i] for i in pending],
+                worker_rec,
             )
+            if rec and worker_rec is not None:
+                rec.merge(worker_rec)
             for i, actual in zip(pending, emulated):
                 actuals[i] = actual
                 if sweep is not None:
@@ -394,16 +409,32 @@ class ServeCoordinator:
             if sweep is not None and self._sweep_stores >= SWEEP_CACHE_SAVE_EVERY:
                 self._sweep_stores = 0
                 await self._run_blocking(sweep.save)
+            run_cache = self.run_cache
+            if run_cache is not None and run_cache.path is not None:
+                self._run_cache_stores += len(pending)
+                if self._run_cache_stores >= SWEEP_CACHE_SAVE_EVERY:
+                    self._run_cache_stores = 0
+                    await self._run_blocking(run_cache.save)
         if rec:
             rec.count("serve/verify_emulated", len(pending))
             rec.count("serve/verify_sweep_hits", len(dists) - len(pending))
         return actuals  # type: ignore[return-value]
 
-    def _emulate_pending(self, entry: _ModelEntry, dists) -> List[float]:
+    def _emulate_pending(
+        self, entry: _ModelEntry, dists, telemetry=None
+    ) -> List[float]:
+        # One coalesced verify round = one batched emulation pass (the
+        # ``sim/batch/passes`` counter proves it) — sharded only when
+        # ``jobs > 1`` asks for worker processes.
         from repro.parallel import verify_distributions
 
         return verify_distributions(
-            entry.cluster, entry.program, dists, jobs=self.jobs
+            entry.cluster,
+            entry.program,
+            dists,
+            jobs=self.jobs,
+            cache=self.run_cache,
+            telemetry=telemetry,
         )
 
     # -- search --------------------------------------------------------------
@@ -507,6 +538,8 @@ class ServeCoordinator:
         }
         if self.sweep_cache is not None:
             stats["sweep_cache"] = self.sweep_cache.stats
+        if self.run_cache is not None:
+            stats["run_cache"] = self.run_cache.stats
         return stats
 
     # -- transport -----------------------------------------------------------
@@ -602,6 +635,8 @@ class ServeCoordinator:
         await self._batcher.drain()
         if self.sweep_cache is not None:
             await self._run_blocking(self.sweep_cache.save)
+        if self.run_cache is not None and self.run_cache.path is not None:
+            await self._run_blocking(self.run_cache.save)
         self._executor.shutdown(wait=True)
 
 

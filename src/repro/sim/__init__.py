@@ -30,9 +30,11 @@ from repro.sim.executor import (
     ClusterEmulator,
     RunResult,
     emulate,
+    emulate_many,
     fast_forward_default,
     set_fast_forward_default,
 )
+from repro.sim.plan_sim import EmulationPlan, get_emulation_plan
 from repro.sim.analysis import NodeBreakdown, RunAnalysis, analyse_run
 
 __all__ = [
@@ -52,6 +54,9 @@ __all__ = [
     "ClusterEmulator",
     "RunResult",
     "emulate",
+    "emulate_many",
+    "EmulationPlan",
+    "get_emulation_plan",
     "fast_forward_default",
     "set_fast_forward_default",
     "NodeBreakdown",

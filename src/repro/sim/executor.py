@@ -45,6 +45,7 @@ __all__ = [
     "ClusterEmulator",
     "RunResult",
     "emulate",
+    "emulate_many",
     "set_fast_forward_default",
     "fast_forward_default",
 ]
@@ -236,6 +237,10 @@ class ClusterEmulator:
             if fast_forward_policy is not None
             else FastForwardPolicy()
         )
+        # Resolved lazily and pinned: the plan LRU lookup hashes the
+        # whole (cluster, program, perturbation) content on every call,
+        # which would otherwise dominate a warm plan-served run.
+        self._emulation_plan = None
 
     # -- public API ------------------------------------------------------------
 
@@ -304,6 +309,19 @@ class ClusterEmulator:
                 instrumented=instrumented,
             )
         ):
+            # Compiled-plan replay first: when this configuration's
+            # EmulationPlan is live, the probe is a vectorised walk
+            # over precompiled schedules instead of an event-engine
+            # simulation; the convergence check and extrapolation are
+            # the same.  Any plan miss (retired plan, non-converged
+            # probe) falls through to the engine probe below.
+            result = self._plan_fast_forward(
+                distribution, n_iter, policy, telemetry
+            )
+            if result is not None:
+                if telemetry:
+                    self._record_run_telemetry(telemetry, phase, result)
+                return result
             # Probe the first few iterations; the probe's prefix is
             # identical to the full run's (messages never cross
             # iteration boundaries and no RNG is drawn), so on
@@ -373,21 +391,124 @@ class ClusterEmulator:
         self, probe: RunResult, deltas: List[float], n_iter: int
     ) -> RunResult:
         """Extend a converged probe to ``n_iter`` iterations closed-form."""
+        return self._extrapolated_result(
+            probe.distribution, probe.iteration_ends, deltas, n_iter
+        )
+
+    def _plan_fast_forward(
+        self,
+        distribution: GenBlock,
+        n_iter: int,
+        policy: FastForwardPolicy,
+        telemetry=None,
+    ) -> Optional[RunResult]:
+        """Fast-forward via the compiled :class:`EmulationPlan`, or
+        ``None`` when the plan cannot serve this run (the caller then
+        takes the event-engine path).  Only called once the structural
+        gate (:func:`supports_fast_forward`) has passed."""
+        plan = self._emulation_plan
+        if plan is None or plan.policy != policy:
+            from repro.sim.plan_sim import get_emulation_plan
+
+            plan = get_emulation_plan(
+                self.cluster, self.program, self.perturbation, policy,
+                telemetry,
+            )
+            self._emulation_plan = plan
+        probe_ends = plan.probe_ends(distribution)
+        if probe_ends is None:
+            return None
+        deltas = steady_deltas(probe_ends, policy)
+        if deltas is None:
+            return None
+        if telemetry:
+            telemetry.count("sim/plan_runs")
+        return self._extrapolated_result(
+            distribution, probe_ends, deltas, n_iter
+        )
+
+    def _extrapolated_result(
+        self,
+        distribution: GenBlock,
+        probe_ends: List[List[float]],
+        deltas: List[float],
+        n_iter: int,
+    ) -> RunResult:
+        """Closed-form result from converged probe iteration ends."""
         iteration_ends = [
             extrapolate_ends(ends, delta, n_iter)
-            for ends, delta in zip(probe.iteration_ends, deltas)
+            for ends, delta in zip(probe_ends, deltas)
         ]
         per_node = [ends[-1] if ends else 0.0 for ends in iteration_ends]
         return RunResult(
             total_seconds=max(per_node) if per_node else 0.0,
             per_node_seconds=per_node,
             iteration_ends=iteration_ends,
-            distribution=probe.distribution,
+            distribution=distribution,
             iterations=n_iter,
             fast_forwarded=True,
         )
 
     # -- setup -------------------------------------------------------------------
+
+    def _make_context(
+        self,
+        rank: int,
+        rows: int,
+        counts_label: str,
+        observer: Optional[Observer],
+        instrumented: bool,
+    ) -> _NodeCtx:
+        """Execution state for one node given its row count.
+
+        Everything here depends only on ``(rank, rows)`` (the
+        ``counts_label`` only seeds RNG streams, which deterministic
+        runs never draw) — the compiled emulation plans
+        (:mod:`repro.sim.plan_sim`) rely on this to profile single
+        ranks standalone.
+        """
+        program = self.program
+        spec = self.cluster.nodes[rank]
+        if self.perturbation.runtime_overhead:
+            plan = emulator_plan(
+                spec, program, rows, forced_out_of_core=instrumented
+            )
+        else:
+            plan = plan_memory(
+                program,
+                rows,
+                spec.memory_bytes,
+                forced_out_of_core=instrumented,
+            )
+        resident = plan.resident_bytes + program.replicated_bytes
+        disk = DiskModel(
+            spec,
+            resident_bytes=resident,
+            cache_enabled=self.perturbation.os_read_cache,
+        )
+        for name, placement in plan.placements.items():
+            if not placement.in_core:
+                disk.register_variable(name, placement.ocla_bytes)
+        perturb = PerturbationModel(
+            self.perturbation,
+            run_labels=(
+                self.cluster.name,
+                program.name,
+                counts_label,
+                rank,
+                "instr" if instrumented else "run",
+            ),
+        )
+        return _NodeCtx(
+            rank,
+            spec,
+            self.cluster.network,
+            disk,
+            plan,
+            observer,
+            perturb,
+            program.replicated_bytes,
+        )
 
     def _make_contexts(
         self,
@@ -395,54 +516,13 @@ class ClusterEmulator:
         observer: Optional[Observer],
         instrumented: bool,
     ) -> List[_NodeCtx]:
-        program = self.program
-        contexts: List[_NodeCtx] = []
-        use_overhead = self.perturbation.runtime_overhead
-        for rank, spec in enumerate(self.cluster.nodes):
-            rows = distribution[rank]
-            if use_overhead:
-                plan = emulator_plan(
-                    spec, program, rows, forced_out_of_core=instrumented
-                )
-            else:
-                plan = plan_memory(
-                    program,
-                    rows,
-                    spec.memory_bytes,
-                    forced_out_of_core=instrumented,
-                )
-            resident = plan.resident_bytes + program.replicated_bytes
-            disk = DiskModel(
-                spec,
-                resident_bytes=resident,
-                cache_enabled=self.perturbation.os_read_cache,
+        label = "x".join(map(str, distribution.counts))
+        return [
+            self._make_context(
+                rank, distribution[rank], label, observer, instrumented
             )
-            for name, placement in plan.placements.items():
-                if not placement.in_core:
-                    disk.register_variable(name, placement.ocla_bytes)
-            perturb = PerturbationModel(
-                self.perturbation,
-                run_labels=(
-                    self.cluster.name,
-                    program.name,
-                    "x".join(map(str, distribution.counts)),
-                    rank,
-                    "instr" if instrumented else "run",
-                ),
-            )
-            contexts.append(
-                _NodeCtx(
-                    rank,
-                    spec,
-                    self.cluster.network,
-                    disk,
-                    plan,
-                    observer,
-                    perturb,
-                    program.replicated_bytes,
-                )
-            )
-        return contexts
+            for rank in range(self.cluster.n_nodes)
+        ]
 
     # -- node program ---------------------------------------------------------------
 
@@ -838,11 +918,13 @@ def emulate(
         instrumented=instrumented,
         fast_forward=use_fast,
     )
+    # The store holds frozen (tuple-field) payloads and thaws on get,
+    # so hits hand out private mutable lists without a deep copy.
     hit = store.get(key)
     if hit is not None:
         if telemetry:
             telemetry.count("sim/run_cache/hits")
-        return _copy_result(hit)
+        return hit
     result = emulator.run(
         distribution,
         instrumented=instrumented,
@@ -850,10 +932,147 @@ def emulate(
         fast_forward=fast_forward,
         telemetry=telemetry,
     )
-    store.put(key, _copy_result(result))
+    store.put(key, result)
     if telemetry:
         telemetry.count("sim/run_cache/misses")
         stats = store.stats
         telemetry.set("sim/run_cache/size", stats.get("size", 0))
         telemetry.set("sim/run_cache/evictions", stats.get("evictions", 0))
     return result
+
+
+def emulate_many(
+    cluster: ClusterSpec,
+    program: ProgramStructure,
+    distributions,
+    *,
+    perturbation: Optional[PerturbationConfig] = None,
+    iterations: Optional[int] = None,
+    fast_forward: Optional[bool] = None,
+    cache: Union[None, bool, "object"] = None,
+    telemetry=None,
+) -> List[RunResult]:
+    """Emulate a whole population of candidates in one batched pass.
+
+    The results are bit-identical to looping :func:`emulate` over
+    ``distributions`` (pinned by the golden batch suite): candidates
+    that the compiled :class:`~repro.sim.plan_sim.EmulationPlan` can
+    serve share one vectorised ``(B, P)`` probe walk, every other
+    candidate falls back to its own :meth:`ClusterEmulator.run` —
+    identical gating, convergence checks and extrapolation, only
+    amortised differently.
+
+    The run cache is consulted up front (duplicates inside the batch
+    are deduplicated too) and all fresh results land back in one
+    :meth:`~repro.parallel.cache.RunCache.put_many`.  ``cache`` follows
+    :func:`emulate`: ``None`` for the process-wide store, ``False`` to
+    bypass, or an explicit :class:`~repro.parallel.cache.RunCache`.
+
+    Telemetry: one ``sim/batch/passes`` count per call — the
+    coalesced-round invariant the serve verify path asserts — plus
+    candidate/hit/fallback counters under ``sim/batch/``.
+    """
+    distributions = list(distributions)
+    emulator = ClusterEmulator(cluster, program, perturbation)
+    n_iter = iterations if iterations is not None else program.iterations
+    use_fast = _FAST_FORWARD_DEFAULT if fast_forward is None else bool(fast_forward)
+
+    store = None
+    if cache is not False:
+        from repro.parallel.cache import default_run_cache
+
+        store = default_run_cache() if cache is None else cache
+
+    results: List[Optional[RunResult]] = [None] * len(distributions)
+    keys: List[Optional[str]] = [None] * len(distributions)
+    cache_hits = 0
+    if store is not None:
+        from repro.parallel.cache import RunCache
+
+        base = RunCache.key_base(
+            cluster,
+            program,
+            n_iter,
+            emulator.perturbation,
+            instrumented=False,
+            fast_forward=use_fast,
+        )
+        for i, dist in enumerate(distributions):
+            keys[i] = RunCache.key_from_base(base, dist.counts)
+            hit = store.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                cache_hits += 1
+
+    # Deduplicate the remaining candidates: identical counts are one
+    # emulation (runs are pure functions of their configuration).
+    first_index: dict = {}
+    pending: List[int] = []
+    for i, dist in enumerate(distributions):
+        if results[i] is not None:
+            continue
+        counts = tuple(dist.counts)
+        if counts in first_index:
+            continue
+        first_index[counts] = i
+        pending.append(i)
+
+    plan_served = 0
+    fallbacks = 0
+    if pending:
+        policy = emulator.fast_forward_policy
+        batch_ends = None
+        if (
+            use_fast
+            and n_iter > policy.probe_iterations
+            and supports_fast_forward(program, emulator.perturbation)
+        ):
+            from repro.sim.plan_sim import get_emulation_plan
+
+            plan = get_emulation_plan(
+                cluster, program, emulator.perturbation, policy, telemetry
+            )
+            batch_ends = plan.probe_ends_batch(
+                [distributions[i] for i in pending]
+            )
+        for b, i in enumerate(pending):
+            dist = distributions[i]
+            result = None
+            if batch_ends is not None:
+                probe_ends = batch_ends[b].tolist()
+                deltas = steady_deltas(probe_ends, policy)
+                if deltas is not None:
+                    result = emulator._extrapolated_result(
+                        dist, probe_ends, deltas, n_iter
+                    )
+                    plan_served += 1
+            if result is None:
+                result = emulator.run(
+                    dist,
+                    iterations=n_iter,
+                    fast_forward=use_fast,
+                    telemetry=telemetry,
+                )
+                fallbacks += 1
+            results[i] = result
+
+        if store is not None:
+            store.put_many(
+                (keys[i], results[i]) for i in pending if keys[i] is not None
+            )
+
+    # Fill batch-internal duplicates with private copies.
+    for i, dist in enumerate(distributions):
+        if results[i] is None:
+            results[i] = _copy_result(results[first_index[tuple(dist.counts)]])
+
+    if telemetry:
+        telemetry.count("sim/batch/passes")
+        telemetry.count("sim/batch/candidates", len(distributions))
+        telemetry.count("sim/batch/cache_hits", cache_hits)
+        telemetry.count("sim/batch/plan_runs", plan_served)
+        telemetry.count("sim/batch/fallbacks", fallbacks)
+        if store is not None:
+            telemetry.count("sim/run_cache/hits", cache_hits)
+            telemetry.count("sim/run_cache/misses", len(pending))
+    return results

@@ -144,8 +144,14 @@ def extrapolate_ends(
     closed-form: ``end(k) = end(probe-1) + (k - probe + 1) * delta``."""
     ends = list(probe_ends)
     base = ends[-1]
-    simulated = len(ends)
-    ends.extend(
-        base + (k + 1) * delta for k in range(n_iterations - simulated)
-    )
+    n_more = n_iterations - len(ends)
+    if n_more > 32:
+        # Vectorised tail — bitwise identical to the scalar loop:
+        # int64 * float64 and float64 + float64 round exactly like
+        # their Python-float counterparts, elementwise.
+        import numpy as np
+
+        ends.extend((base + np.arange(1, n_more + 1) * delta).tolist())
+    else:
+        ends.extend(base + (k + 1) * delta for k in range(n_more))
     return ends

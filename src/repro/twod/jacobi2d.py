@@ -35,6 +35,12 @@ from repro.obs import Recorder, as_recorder, warn_once
 from repro.sim.disk import DiskModel
 from repro.sim.engine import Delay, Engine, Recv, Send
 from repro.sim.perturbation import PerturbationConfig, PerturbationModel
+from repro.sim.steady import (
+    FastForwardPolicy,
+    extrapolate_ends,
+    steady_deltas,
+    supports_fast_forward,
+)
 from repro.twod.distribution2d import GenBlock2D
 from repro.util.rng import stream
 from repro.util.units import DOUBLE
@@ -62,6 +68,12 @@ class Jacobi2DSpec:
     iterations: int = 100
     work_per_element: float = 60e-9
     element_size: int = DOUBLE
+
+    #: Every 2-D iteration sweeps the same tile — there is no per-
+    #: iteration work profile.  A plain class attribute (not a field)
+    #: so :func:`repro.sim.steady.supports_fast_forward` applies its
+    #: 1-D gating rules to the 2-D workload unchanged.
+    iteration_profile = None
 
     def tile_bytes(self, rows: int, cols: int) -> float:
         return rows * cols * self.element_size
@@ -107,22 +119,69 @@ class TwoDEmulator:
         iterations: Optional[int] = None,
         instrumented: bool = False,
         collector: Optional["_TwoDCollector"] = None,
+        fast_forward: Optional[bool] = None,
+        policy: Optional[FastForwardPolicy] = None,
         telemetry: Optional[Recorder] = None,
     ) -> float:
+        """Total emulated seconds of ``n_iter`` 2-D Jacobi iterations.
+
+        Fast-forward follows the 1-D emulator exactly: structurally
+        eligible runs (:func:`supports_fast_forward` — a collector
+        counts as an observer) simulate only the probe window, and if
+        every rank's iteration-end deltas have settled the rest is
+        extrapolated closed-form; anything else falls back to the full
+        event loop, bit for bit.
+        """
         if dist.n_nodes != self.cluster.n_nodes:
             raise SimulationError("grid shape does not cover the cluster")
         if dist.n_rows != self.spec.n_rows or dist.n_cols != self.spec.n_cols:
             raise SimulationError("distribution does not cover the array")
         n_iter = iterations if iterations is not None else self.spec.iterations
+        if fast_forward is None:
+            from repro.sim.executor import fast_forward_default
+
+            fast_forward = fast_forward_default()
+        policy = policy if policy is not None else FastForwardPolicy()
         rec = as_recorder(telemetry)
-        with rec.span("sim/twod/run"):
-            engine = Engine()
-            for rank in range(dist.n_nodes):
-                engine.add_process(
-                    self._node(rank, dist, n_iter, instrumented, collector),
-                    node=rank,
+        if (
+            fast_forward
+            and n_iter > policy.probe_iterations
+            and supports_fast_forward(
+                self.spec,
+                self.perturbation,
+                observer=collector,
+                instrumented=instrumented,
+            )
+        ):
+            ends: List[List[float]] = [[] for _ in range(dist.n_nodes)]
+            with rec.span("sim/twod/run"):
+                self._engine_run(
+                    dist, policy.probe_iterations, instrumented,
+                    collector, ends,
                 )
-            seconds = engine.run()
+                deltas = steady_deltas(ends, policy)
+                if deltas is not None:
+                    seconds = max(
+                        extrapolate_ends(ends[r], deltas[r], n_iter)[-1]
+                        for r in range(dist.n_nodes)
+                    )
+                    if rec:
+                        rec.count("sim/twod/runs")
+                        rec.count("sim/twod/fast_forwards")
+                        rec.set("sim/twod/nodes", dist.n_nodes)
+                        rec.set("sim/twod/iterations", n_iter)
+                        rec.observe("sim/twod/seconds", seconds)
+                    return seconds
+                # Non-converging probe: fall back to an untouched full
+                # simulation (probe state is discarded entirely).
+                seconds = self._engine_run(
+                    dist, n_iter, instrumented, collector, None
+                )
+        else:
+            with rec.span("sim/twod/run"):
+                seconds = self._engine_run(
+                    dist, n_iter, instrumented, collector, None
+                )
         if rec:
             rec.count("sim/twod/runs")
             rec.set("sim/twod/nodes", dist.n_nodes)
@@ -130,7 +189,16 @@ class TwoDEmulator:
             rec.observe("sim/twod/seconds", seconds)
         return seconds
 
-    def _node(self, rank, dist, n_iter, instrumented, collector):
+    def _engine_run(self, dist, n_iter, instrumented, collector, ends):
+        engine = Engine()
+        for rank in range(dist.n_nodes):
+            engine.add_process(
+                self._node(rank, dist, n_iter, instrumented, collector, ends),
+                node=rank,
+            )
+        return engine.run()
+
+    def _node(self, rank, dist, n_iter, instrumented, collector, ends=None):
         spec = self.spec
         node = self.cluster[rank]
         net = self.cluster.network
@@ -218,6 +286,8 @@ class TwoDEmulator:
                 yield from cpu(net.recv_overhead)
             # -- residual allreduce (binomial reduce + broadcast) -----------
             yield from self._allreduce(rank, dist.n_nodes, it, net, cpu)
+            if ends is not None:
+                ends[rank].append(now)
 
     def _allreduce(self, rank, P, it, net, cpu):
         nbytes = 8.0

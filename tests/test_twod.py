@@ -329,3 +329,90 @@ class TestTwoDSearch:
         sharded = TwoDGbs(model, shapes=[(2, 4)], jobs=2).search(budget=150)
         assert sharded.predicted_seconds == serial.predicted_seconds
         assert sharded.best == serial.best
+
+
+class TestTwoDFastForward:
+    """2-D emulator fast-forward: golden equivalence + 1-D gating rules."""
+
+    SHAPES = {8: [(2, 4), (4, 2), (8, 1), (1, 8)]}
+
+    def _spec(self):
+        return Jacobi2DSpec(n_rows=400, n_cols=400, iterations=24)
+
+    @pytest.mark.parametrize("config", ["DC", "IO", "HY1", "HY2"])
+    @pytest.mark.parametrize("shape", [(2, 4), (4, 2), (8, 1), (1, 8)])
+    @pytest.mark.parametrize("factory", ["block", "balanced"])
+    def test_golden_equivalence(self, config, shape, factory):
+        from repro.cluster import table1_configs
+        from repro.obs import Recorder
+
+        cluster = table1_configs()[config]
+        spec = self._spec()
+        deterministic = PerturbationConfig().without(compute_noise=False)
+        dist = (
+            block2d(spec.n_rows, spec.n_cols, shape)
+            if factory == "block"
+            else balanced2d(cluster, spec.n_rows, spec.n_cols, shape)
+        )
+        emulator = TwoDEmulator(cluster, spec, deterministic)
+        full = emulator.run(dist, fast_forward=False)
+        rec = Recorder()
+        fast = emulator.run(dist, fast_forward=True, telemetry=rec)
+        assert rec.counters["sim/twod/fast_forwards"] == 1
+        assert abs(fast - full) / abs(full) <= 1e-9
+
+    def test_perturbed_run_bypasses_bitwise(self):
+        from repro.cluster import table1_configs
+
+        cluster = table1_configs()["HY1"]
+        spec = self._spec()
+        dist = block2d(spec.n_rows, spec.n_cols, (2, 4))
+        emulator = TwoDEmulator(cluster, spec, PerturbationConfig())
+        full = emulator.run(dist, fast_forward=False)
+        fast = emulator.run(dist, fast_forward=True)
+        assert fast == full
+
+    def test_short_run_and_collector_bypass(self):
+        from repro.cluster import table1_configs
+        from repro.obs import Recorder
+        from repro.util.rng import stream
+
+        cluster = table1_configs()["HY1"]
+        spec = self._spec()
+        deterministic = PerturbationConfig().without(compute_noise=False)
+        dist = block2d(spec.n_rows, spec.n_cols, (2, 4))
+        emulator = TwoDEmulator(cluster, spec, deterministic)
+        rec = Recorder()
+        # Too few iterations for the probe window.
+        emulator.run(dist, iterations=3, fast_forward=True, telemetry=rec)
+        assert "sim/twod/fast_forwards" not in rec.counters
+        # A collector is an observer: it must see every iteration.
+        from repro.twod.jacobi2d import _TwoDCollector
+
+        collector = _TwoDCollector(PERFECT, stream("t2dff", 0))
+        rec2 = Recorder()
+        emulator.run(
+            dist, fast_forward=True, collector=collector, telemetry=rec2
+        )
+        assert "sim/twod/fast_forwards" not in rec2.counters
+
+    def test_respects_global_default(self):
+        from repro.cluster import table1_configs
+        from repro.obs import Recorder
+        from repro.sim import set_fast_forward_default
+
+        cluster = table1_configs()["HY1"]
+        spec = self._spec()
+        deterministic = PerturbationConfig().without(compute_noise=False)
+        dist = block2d(spec.n_rows, spec.n_cols, (2, 4))
+        emulator = TwoDEmulator(cluster, spec, deterministic)
+        set_fast_forward_default(False)
+        try:
+            rec = Recorder()
+            emulator.run(dist, telemetry=rec)
+            assert "sim/twod/fast_forwards" not in rec.counters
+        finally:
+            set_fast_forward_default(True)
+        rec2 = Recorder()
+        emulator.run(dist, telemetry=rec2)
+        assert rec2.counters["sim/twod/fast_forwards"] == 1
