@@ -139,7 +139,7 @@ def _plan_runs(cluster, program, candidates, mode, reps=5):
     for _ in range(reps):
         batch = emulate_many(
             cluster, program, candidates,
-            perturbation=DETERMINISTIC, cache=False,
+            perturbation=DETERMINISTIC, run_cache=False,
         )
     batched_ms = (
         (time.perf_counter() - t0) / (reps * len(candidates)) * 1e3
@@ -162,13 +162,13 @@ def _cached_emulate_throughput(cluster, program, candidates, reps=20):
     cache = RunCache()
     for d in candidates:  # populate
         emulate(
-            cluster, program, d, perturbation=DETERMINISTIC, cache=cache
+            cluster, program, d, perturbation=DETERMINISTIC, run_cache=cache
         )
     t0 = time.perf_counter()
     for _ in range(reps):
         for d in candidates:
             emulate(
-                cluster, program, d, perturbation=DETERMINISTIC, cache=cache
+                cluster, program, d, perturbation=DETERMINISTIC, run_cache=cache
             )
     seconds = time.perf_counter() - t0
     lookups = reps * len(candidates)
@@ -335,11 +335,11 @@ def test_cached_emulate_is_effectively_free(benchmark):
     cluster, program, candidates = _setup(prefetch=False)
     cache = RunCache()
     d = candidates[0]
-    emulate(cluster, program, d, perturbation=DETERMINISTIC, cache=cache)
+    emulate(cluster, program, d, perturbation=DETERMINISTIC, run_cache=cache)
 
     def hit():
         return emulate(
-            cluster, program, d, perturbation=DETERMINISTIC, cache=cache
+            cluster, program, d, perturbation=DETERMINISTIC, run_cache=cache
         )
 
     result = benchmark(hit)

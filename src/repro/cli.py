@@ -109,6 +109,35 @@ def _add_common(parser: argparse.ArgumentParser, config: bool = True) -> None:
         )
 
 
+def _add_dynamics(parser: argparse.ArgumentParser) -> None:
+    from repro.cluster.configs import DYNAMICS_SCENARIOS
+
+    parser.add_argument(
+        "--dynamics", choices=DYNAMICS_SCENARIOS, default=None,
+        metavar="SCENARIO",
+        help=f"time-varying cluster scenario {DYNAMICS_SCENARIOS}: "
+        "background-load spikes, CPU drift, disk fade or node loss "
+        "(deterministic functions of the iteration index)",
+    )
+    parser.add_argument(
+        "--dynamics-start", type=int, default=20, metavar="IT",
+        help="global iteration at which the scenario's disturbance "
+        "begins (default 20)",
+    )
+
+
+def _dynamics_spec(args, cluster):
+    """Resolve ``--dynamics``/``--dynamics-start`` to a DynamicsSpec."""
+    name = getattr(args, "dynamics", None)
+    if name is None:
+        return None
+    from repro.cluster.configs import dynamics_scenario
+
+    return dynamics_scenario(
+        name, cluster.n_nodes, start=args.dynamics_start
+    )
+
+
 def _add_kernel(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--kernel", choices=("numpy", "scalar", "plan"), default="numpy",
@@ -229,6 +258,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dist", default="blk", help=f"one of {ANCHORS}")
     _add_common(p)
 
+    p = sub.add_parser(
+        "emulate",
+        help="one ground-truth emulated run (optionally on a dynamic "
+        "cluster)",
+    )
+    p.add_argument("app", choices=APPS)
+    p.add_argument("--dist", default="blk", help=f"one of {ANCHORS}")
+    p.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="override the program's iteration count",
+    )
+    p.add_argument(
+        "--io-mode", choices=("auto", "sync", "prefetch", "instrumented"),
+        default="auto",
+        help="I/O handling: auto (the program's own mode), forced "
+        "sync/prefetch, or the instrumented measurement pass",
+    )
+    p.add_argument("--prefetch", action="store_true")
+    _add_common(p)
+    _add_dynamics(p)
+    _add_telemetry(p)
+
     p = sub.add_parser("search", help="distribution search driven by MHETA")
     p.add_argument("app", choices=APPS)
     p.add_argument(
@@ -288,7 +339,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("adaptive", help="the Section-6 adaptive runtime")
     p.add_argument("app", choices=APPS)
+    p.add_argument(
+        "--check-interval", type=int, default=10, metavar="N",
+        help="iterations between drift checks on dynamic clusters "
+        "(default 10)",
+    )
+    p.add_argument(
+        "--drift-threshold", type=float, default=0.25, metavar="X",
+        help="worst per-node relative deviation (observed vs predicted "
+        "iteration time) that triggers a new adaptation round "
+        "(default 0.25)",
+    )
     _add_common(p)
+    _add_dynamics(p)
     _add_telemetry(p)
 
     p = sub.add_parser("accuracy", help="one Figure-9 panel")
@@ -375,6 +438,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the emulator fast path for verify queries",
     )
 
+    from repro.cluster.configs import DYNAMICS_SCENARIOS
+
     p = sub.add_parser(
         "query",
         help="query a running `repro serve` instance",
@@ -394,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", choices=ALGORITHMS, default="gbs")
     p.add_argument("--budget", type=int, default=150)
     p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument(
+        "--dynamics", choices=DYNAMICS_SCENARIOS, default=None,
+        help="verify under a named dynamics scenario (verify op only)",
+    )
     p.add_argument(
         "--json", action="store_true", help="print the raw result JSON"
     )
@@ -709,11 +778,53 @@ def _cmd_search(args) -> str:
     return "\n".join(out)
 
 
+def _cmd_emulate(args) -> str:
+    from repro.sim.executor import emulate
+
+    cluster = _cluster(args.config)
+    program = _program(args.app, args.scale, args.prefetch)
+    dist = _anchor(args.dist, cluster, program)
+    dynamics = _dynamics_spec(args, cluster)
+    rec = _telemetry_recorder(args)
+    result = emulate(
+        cluster,
+        program,
+        dist,
+        iterations=args.iterations,
+        io_mode=args.io_mode,
+        dynamics=dynamics,
+        fast_forward=False if args.no_fast_forward else None,
+        telemetry=rec,
+    )
+    out = [
+        f"app {args.app!r} on {cluster.name}"
+        + (f" (dynamics: {dynamics.name or 'custom'})" if dynamics else ""),
+        f"  distribution : {list(dist.counts)}",
+        f"  iterations   : {result.iterations}",
+        f"  total        : {result.total_seconds:.6f} s"
+        + ("  (fast-forwarded)" if result.fast_forwarded else ""),
+        "  per node     : "
+        + ", ".join(f"{s:.3f}" for s in result.per_node_seconds),
+    ]
+    if rec is not None:
+        out.append("")
+        out.append(_render_telemetry(rec, args))
+    return "\n".join(out)
+
+
 def _cmd_adaptive(args) -> str:
     cluster = _cluster(args.config)
     program = _program(args.app, args.scale)
+    dynamics = _dynamics_spec(args, cluster)
     rec = _telemetry_recorder(args)
-    out = AdaptiveRuntime(cluster, program).run(telemetry=rec).describe()
+    runtime = AdaptiveRuntime(
+        cluster,
+        program,
+        dynamics=dynamics,
+        check_interval=args.check_interval,
+        drift_threshold=args.drift_threshold,
+    )
+    out = runtime.run(telemetry=rec).describe()
     if rec is not None:
         out = out + "\n\n" + _render_telemetry(rec, args)
     return out
@@ -834,7 +945,7 @@ def _cmd_verify(args) -> str:
 
         seconds = verify_distributions(
             cluster, program, dists,
-            jobs=args.jobs, cache=store, telemetry=rec,
+            jobs=args.jobs, run_cache=store, telemetry=rec,
         )
         flags = [""] * len(dists)
     else:
@@ -843,7 +954,7 @@ def _cmd_verify(args) -> str:
         for lo in range(0, len(dists), batch):
             for result in emulate_many(
                 cluster, program, dists[lo:lo + batch],
-                cache=store, telemetry=rec,
+                run_cache=store, telemetry=rec,
             ):
                 seconds.append(result.total_seconds)
                 flags.append(
@@ -951,6 +1062,8 @@ def _cmd_query(args) -> str:
             ]
         else:
             payload["dist"] = args.dist or "blk"
+        if getattr(args, "dynamics", None) is not None:
+            payload["dynamics"] = args.dynamics
     client = ServeClient(
         host=args.host, port=args.port, socket_path=args.socket
     )
@@ -1006,6 +1119,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_search(args))
     elif args.command == "verify":
         print(_cmd_verify(args))
+    elif args.command == "emulate":
+        print(_cmd_emulate(args))
     elif args.command == "adaptive":
         print(_cmd_adaptive(args))
     elif args.command == "accuracy":

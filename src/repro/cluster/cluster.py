@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.dynamics import DynamicsSpec
 from repro.cluster.network import NetworkSpec
 from repro.cluster.node import NodeSpec
 from repro.exceptions import ConfigurationError
@@ -28,6 +29,11 @@ class ClusterSpec:
     name: str
     nodes: Tuple[NodeSpec, ...]
     network: NetworkSpec = field(default_factory=NetworkSpec)
+    #: Optional time-varying behaviour (load traces, drift, node loss);
+    #: ``None`` — the common case — means a fully static cluster.  An
+    #: attached spec is validated against the node count and honored by
+    #: the emulators unless a call site overrides ``dynamics=``.
+    dynamics: Optional[DynamicsSpec] = None
 
     def __post_init__(self) -> None:
         if len(self.nodes) < 1:
@@ -36,6 +42,8 @@ class ClusterSpec:
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate node names in {self.name}")
         object.__setattr__(self, "nodes", tuple(self.nodes))
+        if self.dynamics is not None:
+            self.dynamics.validate(len(self.nodes))
 
     # -- basic accessors -----------------------------------------------------
 
@@ -95,6 +103,15 @@ class ClusterSpec:
         nodes[index] = node
         return self.with_nodes(nodes)
 
+    def with_dynamics(
+        self, dynamics: Optional[DynamicsSpec], name: str = ""
+    ) -> "ClusterSpec":
+        """Return a copy with ``dynamics`` attached (or detached, with
+        ``None``)."""
+        return dataclasses.replace(
+            self, dynamics=dynamics, name=name or self.name
+        )
+
     # -- reporting ---------------------------------------------------------
 
     def describe(self) -> str:
@@ -115,4 +132,8 @@ class ClusterSpec:
             if net.latency_per_byte > 0
             else "  net: infinite bandwidth"
         )
+        if self.dynamics is not None and self.dynamics:
+            lines.extend(
+                "  " + line for line in self.dynamics.describe().splitlines()
+            )
         return "\n".join(lines)

@@ -15,8 +15,17 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.cluster.cluster import ClusterSpec
+from repro.cluster.dynamics import (
+    CpuDrift,
+    DiskDegradation,
+    DynamicsSpec,
+    LoadTrace,
+    NodeEvent,
+    NodeLoad,
+)
 from repro.cluster.network import NetworkSpec
 from repro.cluster.node import NodeSpec
+from repro.exceptions import ConfigurationError
 from repro.util.rng import stream
 from repro.util.units import gib, mib
 
@@ -31,6 +40,9 @@ __all__ = [
     "table1_configs",
     "architecture_suite",
     "prefetch_suite",
+    "DYNAMICS_SCENARIOS",
+    "dynamics_scenario",
+    "dynamics_scenarios",
 ]
 
 #: The paper's cluster has eight nodes (one process per Dell Quad server).
@@ -208,3 +220,84 @@ def prefetch_suite(n: int = 12) -> List[ClusterSpec]:
         if (arch.memory_bytes < _BASE_MEMORY).any():
             extra.append(arch)
     return named + extra
+
+
+# -- dynamics scenarios ------------------------------------------------------
+
+#: Named time-varying scenarios for the adaptive benchmark and CLI
+#: (``repro adaptive --dynamics <name>``).  All are deterministic
+#: functions of the global iteration index (load traces are seeded).
+DYNAMICS_SCENARIOS = (
+    "drift",
+    "load-spike",
+    "node-loss",
+    "disk-fade",
+    "stationary",
+)
+
+
+def dynamics_scenario(
+    name: str, n_nodes: int = N_NODES, *, start: int = 20
+) -> DynamicsSpec:
+    """Build one named :class:`DynamicsSpec` for an ``n_nodes`` cluster.
+
+    ``start`` is the global iteration at which the disturbance begins
+    (round 0's instrumented measurement happens well before it, so an
+    adaptive run must *re*-detect the change mid-run to profit).
+
+    * ``drift`` — thermal/DVFS throttling: two nodes decay towards 45%
+      of nominal speed from ``start`` on.
+    * ``load-spike`` — competing jobs land on two nodes at ``start``
+      (mean 50% CPU stolen, slowly drifting AR(1) traces).
+    * ``node-loss`` — one node fail-slows to 10% capacity at ``start``.
+    * ``disk-fade`` — two nodes' disk bandwidth decays to 40% from
+      ``start`` on.
+    * ``stationary`` — an attached-but-empty spec: behaves exactly like
+      a static cluster (the control arm of the payoff benchmark).
+    """
+    if name not in DYNAMICS_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown dynamics scenario {name!r}; "
+            f"choose from {DYNAMICS_SCENARIOS}"
+        )
+    if n_nodes < 2:
+        raise ConfigurationError("dynamics scenarios need >= 2 nodes")
+    a, b = 0, n_nodes // 2
+    if name == "drift":
+        return DynamicsSpec(
+            cpu_drift=(
+                CpuDrift(a, rate=0.08, floor=0.45, start_iteration=start),
+                CpuDrift(b, rate=0.08, floor=0.45, start_iteration=start),
+            ),
+            name="drift",
+        )
+    if name == "load-spike":
+        trace = LoadTrace(mean=0.5, volatility=0.2, persistence=0.9)
+        return DynamicsSpec(
+            loads=(
+                NodeLoad(a, trace, start_iteration=start),
+                NodeLoad(b, trace, start_iteration=start),
+            ),
+            name="load-spike",
+        )
+    if name == "node-loss":
+        return DynamicsSpec(
+            events=(NodeEvent(a, at_iteration=start, residual=0.1),),
+            name="node-loss",
+        )
+    if name == "disk-fade":
+        return DynamicsSpec(
+            disk_degradation=(
+                DiskDegradation(a, rate=0.1, floor=0.4, start_iteration=start),
+                DiskDegradation(b, rate=0.1, floor=0.4, start_iteration=start),
+            ),
+            name="disk-fade",
+        )
+    return DynamicsSpec(name="stationary")
+
+
+def dynamics_scenarios(n_nodes: int = N_NODES) -> Dict[str, DynamicsSpec]:
+    """All named scenarios, keyed by name."""
+    return {
+        name: dynamics_scenario(name, n_nodes) for name in DYNAMICS_SCENARIOS
+    }

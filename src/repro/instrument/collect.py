@@ -132,7 +132,9 @@ def collect_inputs(
     hooks.register(Op.WRITE, acc.on_write)
 
     emulator = ClusterEmulator(cluster, program, perturbation)
-    emulator.run(distribution0, observer=hooks, instrumented=True, iterations=1)
+    emulator.run(
+        distribution0, observer=hooks, io_mode="instrumented", iterations=1
+    )
 
     nodes = []
     for rank in range(cluster.n_nodes):

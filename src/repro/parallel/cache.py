@@ -389,34 +389,48 @@ class RunCache:
         *,
         instrumented: bool = False,
         fast_forward: bool = True,
+        dynamics=None,
+        io_mode: str = "auto",
+        iteration_offset: int = 0,
     ) -> str:
         """Partial content hash over everything but the distribution.
 
         Memoised on object identity (weakref-guarded), because batched
         emulation and hit-heavy loops re-key the same cluster/program
         objects constantly and canonicalising them dominates a hit.
+
+        ``dynamics``/``io_mode``/``iteration_offset`` contribute to the
+        digest only when they differ from their static defaults, so
+        every key minted before those keywords existed is reproduced
+        byte-for-byte.
         """
-        objects = (cluster, program, perturbation)
+        objects = (cluster, program, perturbation, dynamics)
         memo_key = (
-            id(cluster), id(program), id(perturbation),
+            id(cluster), id(program), id(perturbation), id(dynamics),
             int(iterations), bool(instrumented), bool(fast_forward),
+            str(io_mode), int(iteration_offset),
         )
         entry = _KEY_BASE_MEMO.get(memo_key)
         if entry is not None:
             refs, base = entry
             if _guards_hold(refs, objects):
                 return base
-        base = _digest(
-            [
-                "run",
-                _canonical(cluster),
-                _canonical(program),
-                int(iterations),
-                _canonical(perturbation),
-                bool(instrumented),
-                bool(fast_forward),
-            ]
-        )
+        payload = [
+            "run",
+            _canonical(cluster),
+            _canonical(program),
+            int(iterations),
+            _canonical(perturbation),
+            bool(instrumented),
+            bool(fast_forward),
+        ]
+        if dynamics is not None:
+            payload.extend(["dynamics", _canonical(dynamics)])
+        if io_mode != "auto":
+            payload.extend(["io_mode", str(io_mode)])
+        if iteration_offset:
+            payload.extend(["offset", int(iteration_offset)])
+        base = _digest(payload)
         refs = _weak_guards(objects)
         if refs is not None:
             if len(_KEY_BASE_MEMO) >= _KEY_BASE_MEMO_MAX:
@@ -441,6 +455,9 @@ class RunCache:
         *,
         instrumented: bool = False,
         fast_forward: bool = True,
+        dynamics=None,
+        io_mode: str = "auto",
+        iteration_offset: int = 0,
     ) -> str:
         """Content hash of everything an emulated run depends on.
 
@@ -457,6 +474,9 @@ class RunCache:
                 perturbation,
                 instrumented=instrumented,
                 fast_forward=fast_forward,
+                dynamics=dynamics,
+                io_mode=io_mode,
+                iteration_offset=iteration_offset,
             ),
             distribution.counts,
         )

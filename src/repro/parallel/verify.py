@@ -32,19 +32,24 @@ def _verify_batch_task(
         ClusterSpec,
         ProgramStructure,
         Optional[PerturbationConfig],
+        object,
         Tuple[Tuple[int, ...], ...],
     ]
 ) -> List[float]:
     from repro.sim.executor import emulate_many
 
-    cluster, program, perturbation, counts_batch = spec
+    cluster, program, perturbation, dynamics, counts_batch = spec
     results = emulate_many(
         cluster,
         program,
         [GenBlock(counts) for counts in counts_batch],
         perturbation=perturbation,
+        dynamics=dynamics,
     )
     return [r.total_seconds for r in results]
+
+
+_UNSET = object()
 
 
 def verify_distributions(
@@ -54,16 +59,29 @@ def verify_distributions(
     jobs: int = 1,
     perturbation: Optional[PerturbationConfig] = None,
     *,
-    cache=None,
+    dynamics=None,
+    run_cache=None,
     telemetry: Optional[Recorder] = None,
+    cache=_UNSET,
 ) -> List[float]:
     """Actual (emulated) execution time of each distribution, in order.
 
     Every run seeds its RNG streams from ``(cluster, program,
     distribution, node)``, so the result is independent of ``jobs``.
-    ``cache`` is forwarded to :func:`emulate_many` (``None`` means the
-    process default :class:`RunCache`, ``False`` disables caching).
+    ``dynamics`` follows the :func:`emulate` convention (``None`` =
+    use ``cluster.dynamics``, ``False`` = force static, or an explicit
+    :class:`~repro.cluster.dynamics.DynamicsSpec`).  ``run_cache`` is
+    forwarded to :func:`emulate_many` (``None`` means the process
+    default :class:`RunCache`, ``False`` disables caching); ``cache=``
+    is the deprecated alias (warns once).
     """
+    if cache is not _UNSET:
+        from repro.obs.deprecation import warn_once
+
+        warn_once(
+            "verify_distributions(cache=)", "verify_distributions(run_cache=)"
+        )
+        run_cache = cache
     rec = as_recorder(telemetry)
     if jobs == 1 or len(distributions) <= 1:
         from repro.sim.executor import emulate_many
@@ -76,7 +94,8 @@ def verify_distributions(
                     program,
                     distributions,
                     perturbation=perturbation,
-                    cache=cache,
+                    dynamics=dynamics,
+                    run_cache=run_cache,
                     telemetry=telemetry,
                 )
             ]
@@ -89,7 +108,7 @@ def verify_distributions(
     for i, d in enumerate(distributions):
         shards[i % n_shards].append(tuple(d.counts))
     tasks = [
-        (cluster, program, perturbation, tuple(shard))
+        (cluster, program, perturbation, dynamics, tuple(shard))
         for shard in shards
         if shard
     ]

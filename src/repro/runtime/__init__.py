@@ -24,11 +24,12 @@ from repro.runtime.redistribution import (
     RedistributionEstimate,
     RedistributionModel,
 )
-from repro.runtime.adaptive import AdaptiveReport, AdaptiveRuntime
+from repro.runtime.adaptive import AdaptiveReport, AdaptiveRound, AdaptiveRuntime
 
 __all__ = [
     "RedistributionEstimate",
     "RedistributionModel",
     "AdaptiveReport",
+    "AdaptiveRound",
     "AdaptiveRuntime",
 ]

@@ -1,4 +1,4 @@
-"""AdaptiveRuntime: instrument, search, redistribute, run.
+"""AdaptiveRuntime: instrument, search, redistribute, run — repeatedly.
 
 The end-to-end system of paper Section 6, against the emulated cluster:
 
@@ -13,16 +13,28 @@ The end-to-end system of paper Section 6, against the emulated cluster:
    over the remaining iterations;
 4. run the remaining iterations under the chosen distribution.
 
-The report compares the adaptive end-to-end time against (a) staying on
-the starting distribution and (b) the omniscient best — quantifying what
-the paper's proposed infrastructure would buy.
+On a *dynamic* cluster (a truthy
+:class:`~repro.cluster.dynamics.DynamicsSpec`, attached to the cluster
+or passed explicitly) the runtime earns its name: the remaining
+iterations run in segments of ``check_interval``, each segment's
+observed per-node times are compared against the current model's
+per-node prediction, and when the worst relative deviation exceeds
+``drift_threshold`` a new round fires — one instrumented iteration on
+the cluster's *current* effective speeds, a fresh MHETA search, and a
+redistribution charged against the predicted remaining gain.  Every
+round is recorded as an :class:`AdaptiveRound` in the report.
+
+The report compares the adaptive end-to-end time against staying on the
+starting distribution — quantifying what the paper's proposed
+infrastructure would buy.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.cluster.cluster import ClusterSpec
 from repro.core.model import MhetaModel
@@ -34,11 +46,41 @@ from repro.program.structure import ProgramStructure
 from repro.runtime.redistribution import RedistributionModel
 from repro.search.base import SearchAlgorithm
 from repro.search.gbs import GeneralizedBinarySearch
-from repro.sim.executor import emulate, emulate_many
+from repro.sim.executor import _resolve_dynamics, emulate, emulate_many
 from repro.sim.perturbation import PerturbationConfig
 from repro.util.units import seconds_to_human
 
-__all__ = ["AdaptiveReport", "AdaptiveRuntime"]
+__all__ = ["AdaptiveReport", "AdaptiveRound", "AdaptiveRuntime"]
+
+
+@dataclass(frozen=True)
+class AdaptiveRound:
+    """One instrument-search-(re)distribute round of an adaptive run."""
+
+    index: int
+    at_iteration: int  #: global iteration the round was triggered at
+    trigger: str  #: ``"start"`` (round 0) or ``"drift"``
+    drift: float  #: worst observed/predicted relative deviation seen
+    instrumented_seconds: float
+    search_wall_seconds: float
+    search_evaluations: int
+    from_distribution: GenBlock
+    to_distribution: GenBlock
+    switched: bool
+    redistribution_seconds: float
+    #: Emulated seconds and count of the plain iterations this round's
+    #: layout governed (until the next round fired, or the run ended).
+    segment_seconds: float
+    iterations: int
+
+    @property
+    def overhead_seconds(self) -> float:
+        """What the round cost on top of plain iterations."""
+        return (
+            self.instrumented_seconds
+            + self.search_wall_seconds
+            + self.redistribution_seconds
+        )
 
 
 @dataclass(frozen=True)
@@ -48,13 +90,15 @@ class AdaptiveReport:
     start_distribution: GenBlock
     chosen_distribution: GenBlock
     switched: bool
-    instrumented_seconds: float  #: measured first (instrumented) iteration
-    search_wall_seconds: float  #: real time spent searching
+    instrumented_seconds: float  #: all instrumented iterations, summed
+    search_wall_seconds: float  #: real time spent searching, summed
     search_evaluations: int
-    redistribution_seconds: float  #: 0 when not switching
-    remaining_seconds: float  #: iterations 2..N under the chosen layout
+    redistribution_seconds: float  #: 0 when never switching
+    remaining_seconds: float  #: plain (non-instrumented) iterations
     static_seconds: float  #: the whole run under the start distribution
     predicted_remaining_seconds: float
+    #: Per-round records; a stationary run has exactly one round.
+    rounds: Tuple[AdaptiveRound, ...] = ()
 
     @property
     def adaptive_seconds(self) -> float:
@@ -70,13 +114,17 @@ class AdaptiveReport:
     def speedup_vs_static(self) -> float:
         return self.static_seconds / self.adaptive_seconds
 
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds) if self.rounds else 1
+
     def describe(self) -> str:
         lines = [
             "Adaptive runtime report",
             f"  start distribution : {list(self.start_distribution.counts)}",
             f"  chosen distribution: {list(self.chosen_distribution.counts)}"
             + ("" if self.switched else "  (kept start)"),
-            f"  instrumented iter  : {seconds_to_human(self.instrumented_seconds)}",
+            f"  instrumented iters : {seconds_to_human(self.instrumented_seconds)}",
             f"  search             : {seconds_to_human(self.search_wall_seconds)} "
             f"({self.search_evaluations} MHETA evaluations)",
             f"  redistribution     : {seconds_to_human(self.redistribution_seconds)}",
@@ -86,11 +134,35 @@ class AdaptiveReport:
             f"  static total       : {seconds_to_human(self.static_seconds)}",
             f"  speedup            : {self.speedup_vs_static:.2f}x",
         ]
+        if len(self.rounds) > 1:
+            lines.append(f"  rounds             : {len(self.rounds)}")
+            for r in self.rounds:
+                action = (
+                    f"-> {list(r.to_distribution.counts)}"
+                    if r.switched
+                    else "kept layout"
+                )
+                lines.append(
+                    f"    [{r.index}] it={r.at_iteration} {r.trigger}"
+                    f" (drift {r.drift:.2f}) {action},"
+                    f" overhead {seconds_to_human(r.overhead_seconds)},"
+                    f" {r.iterations} iters in"
+                    f" {seconds_to_human(r.segment_seconds)}"
+                )
         return "\n".join(lines)
 
 
 class AdaptiveRuntime:
-    """The paper's proposed runtime system, on the emulated cluster."""
+    """The paper's proposed runtime system, on the emulated cluster.
+
+    ``dynamics`` follows the emulator convention: ``None`` honours
+    whatever :class:`~repro.cluster.dynamics.DynamicsSpec` is attached
+    to ``cluster``, an explicit spec overrides it, and ``False`` forces
+    the static single-round protocol.  ``check_interval`` (iterations
+    between drift checks) and ``drift_threshold`` (worst per-node
+    relative deviation of observed vs predicted iteration time that
+    fires a new round) only matter on dynamic clusters.
+    """
 
     def __init__(
         self,
@@ -100,13 +172,28 @@ class AdaptiveRuntime:
         search: Optional[SearchAlgorithm] = None,
         search_budget: int = 120,
         safety_factor: float = 1.2,
+        *,
+        dynamics=None,
+        check_interval: int = 10,
+        drift_threshold: float = 0.25,
     ) -> None:
+        if check_interval < 1:
+            raise ValueError(
+                f"check_interval must be >= 1, got {check_interval}"
+            )
+        if drift_threshold <= 0.0:
+            raise ValueError(
+                f"drift_threshold must be > 0, got {drift_threshold}"
+            )
         self.cluster = cluster
         self.program = program
         self.perturbation = perturbation
         self._search = search
         self.search_budget = search_budget
         self.safety_factor = safety_factor
+        self.dynamics = _resolve_dynamics(cluster, dynamics)
+        self.check_interval = check_interval
+        self.drift_threshold = drift_threshold
 
     def run(
         self,
@@ -124,6 +211,8 @@ class AdaptiveRuntime:
         program = self.program
         if start is None:
             start = block(self.cluster, program.n_rows)
+        if self.dynamics is not None:
+            return self._run_dynamic(start, rec, telemetry)
 
         # Every emulated phase goes through the shared content-keyed
         # run cache, so repeated adaptive experiments (benchmark
@@ -137,7 +226,7 @@ class AdaptiveRuntime:
             program,
             start,
             perturbation=self.perturbation,
-            instrumented=True,
+            io_mode="instrumented",
             iterations=1,
         )
         inputs = collect_inputs(
@@ -208,6 +297,7 @@ class AdaptiveRuntime:
 
         if rec:
             rec.count("adaptive/runs")
+            rec.set("adaptive/rounds", 1)
             rec.set("adaptive/instrumented_seconds", instrumented_seconds)
             rec.set("adaptive/search_wall_seconds", search_wall)
             rec.set("adaptive/redistribution_seconds", redistribution_seconds)
@@ -215,6 +305,21 @@ class AdaptiveRuntime:
             rec.set("adaptive/static_seconds", static_seconds)
             rec.set("adaptive/switched", 1.0 if switch else 0.0)
 
+        round0 = AdaptiveRound(
+            index=0,
+            at_iteration=0,
+            trigger="start",
+            drift=0.0,
+            instrumented_seconds=instrumented_seconds,
+            search_wall_seconds=search_wall,
+            search_evaluations=result.evaluations,
+            from_distribution=start,
+            to_distribution=chosen,
+            switched=switch,
+            redistribution_seconds=redistribution_seconds,
+            segment_seconds=remaining_seconds,
+            iterations=remaining,
+        )
         return AdaptiveReport(
             start_distribution=start,
             chosen_distribution=chosen,
@@ -226,4 +331,229 @@ class AdaptiveRuntime:
             remaining_seconds=remaining_seconds,
             static_seconds=static_seconds,
             predicted_remaining_seconds=predicted_best,
+            rounds=(round0,),
+        )
+
+    # -- dynamic clusters ---------------------------------------------------
+
+    def _instrument_round(self, dist: GenBlock, iteration: int, telemetry):
+        """One round's measurement pass: pay an instrumented iteration
+        on the live (dynamic) cluster, then fit MHETA on the cluster's
+        effective speeds at ``iteration``."""
+        instrumented_run = emulate(
+            self.cluster,
+            self.program,
+            dist,
+            perturbation=self.perturbation,
+            dynamics=self.dynamics,
+            io_mode="instrumented",
+            iterations=1,
+            iteration_offset=iteration,
+        )
+        snapshot = self.dynamics.effective_cluster(self.cluster, iteration)
+        inputs = collect_inputs(
+            snapshot, self.program, dist, perturbation=self.perturbation
+        )
+        model = MhetaModel(self.program, snapshot, inputs)
+        search = self._search or GeneralizedBinarySearch(model, snapshot)
+        wall_start = time.perf_counter()
+        result = search.search(
+            budget=self.search_budget, start=dist, telemetry=telemetry
+        )
+        search_wall = time.perf_counter() - wall_start
+        return (
+            instrumented_run.total_seconds,
+            snapshot,
+            model,
+            result,
+            search_wall,
+        )
+
+    def _decide_switch(self, snapshot, model, dist, candidate, remaining):
+        """Amortisation decision on a round's snapshot cluster."""
+        if remaining <= 0 or candidate == dist:
+            return False, 0.0, 0.0
+        predicted_stay = model.predict(dist, iterations=remaining)
+        predicted_move = model.predict(candidate, iterations=remaining)
+        savings = (predicted_stay - predicted_move) / remaining
+        redistributor = RedistributionModel(snapshot, self.program)
+        switch = redistributor.worth_switching(
+            dist,
+            candidate,
+            savings,
+            remaining,
+            safety_factor=self.safety_factor,
+        )
+        cost = redistributor.estimate(dist, candidate).seconds if switch else 0.0
+        predicted = predicted_move if switch else predicted_stay
+        return switch, cost, predicted
+
+    def _run_dynamic(self, start, rec, telemetry) -> AdaptiveReport:
+        """Multi-round protocol: segments of ``check_interval``
+        iterations, drift checks against the round's model, and a fresh
+        instrument-search-switch round whenever drift exceeds the
+        threshold and enough iterations remain to pay for it."""
+        program = self.program
+        n_total = program.iterations
+        n_nodes = self.cluster.n_nodes
+
+        rounds: List[AdaptiveRound] = []
+        current = start
+        predicted_remaining = 0.0
+
+        # Round 0 consumes iteration 0 (instrumented).
+        (
+            instrumented_seconds,
+            snapshot,
+            model,
+            result,
+            search_wall,
+        ) = self._instrument_round(start, 0, telemetry)
+        iteration = 1
+        switch, redist_cost, predicted_remaining = self._decide_switch(
+            snapshot, model, start, result.best, n_total - iteration
+        )
+        if switch:
+            current = result.best
+        rounds.append(
+            AdaptiveRound(
+                index=0,
+                at_iteration=0,
+                trigger="start",
+                drift=0.0,
+                instrumented_seconds=instrumented_seconds,
+                search_wall_seconds=search_wall,
+                search_evaluations=result.evaluations,
+                from_distribution=start,
+                to_distribution=current,
+                switched=switch,
+                redistribution_seconds=redist_cost,
+                segment_seconds=0.0,
+                iterations=0,
+            )
+        )
+        # Per-node steady iteration seconds the current model expects
+        # for the current layout — the drift reference.
+        reference = model.predict(current, report=True)
+        expected = [n.iteration_seconds for n in reference.nodes]
+
+        segment_seconds = 0.0  # accumulated within the current round
+        segment_iters = 0
+
+        def close_round() -> None:
+            rounds[-1] = dataclasses.replace(
+                rounds[-1],
+                segment_seconds=segment_seconds,
+                iterations=segment_iters,
+            )
+
+        while iteration < n_total:
+            seg = min(self.check_interval, n_total - iteration)
+            seg_run = emulate(
+                self.cluster,
+                program,
+                current,
+                perturbation=self.perturbation,
+                dynamics=self.dynamics,
+                iterations=seg,
+                iteration_offset=iteration,
+                telemetry=telemetry,
+            )
+            segment_seconds += seg_run.total_seconds
+            segment_iters += seg
+            iteration += seg
+            if iteration >= n_total:
+                break
+
+            observed = [
+                seg_run.per_node_seconds[node] / seg for node in range(n_nodes)
+            ]
+            drift = max(
+                abs(observed[node] - expected[node]) / expected[node]
+                for node in range(n_nodes)
+                if expected[node] > 0.0
+            )
+            # Re-instrumenting burns one of the remaining iterations;
+            # with fewer than two left there is nothing to win back.
+            if drift <= self.drift_threshold or n_total - iteration < 2:
+                continue
+
+            close_round()
+            (
+                instrumented_seconds,
+                snapshot,
+                model,
+                result,
+                search_wall,
+            ) = self._instrument_round(current, iteration, telemetry)
+            at = iteration
+            iteration += 1  # the instrumented iteration
+            switch, redist_cost, predicted_remaining = self._decide_switch(
+                snapshot, model, current, result.best, n_total - iteration
+            )
+            previous = current
+            if switch:
+                current = result.best
+            rounds.append(
+                AdaptiveRound(
+                    index=len(rounds),
+                    at_iteration=at,
+                    trigger="drift",
+                    drift=drift,
+                    instrumented_seconds=instrumented_seconds,
+                    search_wall_seconds=search_wall,
+                    search_evaluations=result.evaluations,
+                    from_distribution=previous,
+                    to_distribution=current,
+                    switched=switch,
+                    redistribution_seconds=redist_cost,
+                    segment_seconds=0.0,
+                    iterations=0,
+                )
+            )
+            reference = model.predict(current, report=True)
+            expected = [n.iteration_seconds for n in reference.nodes]
+            segment_seconds = 0.0
+            segment_iters = 0
+
+        close_round()
+
+        # Baseline: the whole job statically on the start distribution,
+        # under the same dynamics.
+        static_seconds = emulate(
+            self.cluster,
+            program,
+            start,
+            perturbation=self.perturbation,
+            dynamics=self.dynamics,
+        ).total_seconds
+
+        total_instrumented = sum(r.instrumented_seconds for r in rounds)
+        total_search = sum(r.search_wall_seconds for r in rounds)
+        total_redist = sum(r.redistribution_seconds for r in rounds)
+        total_segments = sum(r.segment_seconds for r in rounds)
+        switched = any(r.switched for r in rounds)
+
+        if rec:
+            rec.count("adaptive/runs")
+            rec.set("adaptive/rounds", len(rounds))
+            rec.set("adaptive/instrumented_seconds", total_instrumented)
+            rec.set("adaptive/search_wall_seconds", total_search)
+            rec.set("adaptive/redistribution_seconds", total_redist)
+            rec.set("adaptive/remaining_seconds", total_segments)
+            rec.set("adaptive/static_seconds", static_seconds)
+            rec.set("adaptive/switched", 1.0 if switched else 0.0)
+
+        return AdaptiveReport(
+            start_distribution=start,
+            chosen_distribution=current,
+            switched=switched,
+            instrumented_seconds=total_instrumented,
+            search_wall_seconds=total_search,
+            search_evaluations=sum(r.search_evaluations for r in rounds),
+            redistribution_seconds=total_redist,
+            remaining_seconds=total_segments,
+            static_seconds=static_seconds,
+            predicted_remaining_seconds=predicted_remaining,
+            rounds=tuple(rounds),
         )

@@ -336,14 +336,23 @@ class ServeCoordinator:
             rec.count("serve/eval_cache_hits", len(dists) - len(missing))
             rec.count("serve/kernel_evaluations", len(missing))
         predicted = [cache.value(d.counts) for d in dists]
-        actuals: Optional[List[float]] = None
+        actuals: Dict[int, float] = {}
         verify_idx = [i for i, q in enumerate(queries) if q.op == "verify"]
         if verify_idx:
-            actuals = await self._verify(
-                entry,
-                [dists[i] for i in verify_idx],
-                [predicted[i] for i in verify_idx],
-            )
+            # Rounds may mix static and dynamic-scenario verifies;
+            # each scenario is one batched emulation pass of its own.
+            by_scenario: Dict[Optional[str], List[int]] = {}
+            for i in verify_idx:
+                by_scenario.setdefault(queries[i].dynamics, []).append(i)
+            for scenario, idxs in by_scenario.items():
+                values = await self._verify(
+                    entry,
+                    [dists[i] for i in idxs],
+                    [predicted[i] for i in idxs],
+                    dynamics=self._dynamics_spec(entry, scenario),
+                )
+                for i, value in zip(idxs, values):
+                    actuals[i] = value
         for pos, (i, query) in enumerate(zip(indices, queries)):
             result = {
                 "app": query.app,
@@ -352,13 +361,15 @@ class ServeCoordinator:
                 "predicted_seconds": predicted[pos],
             }
             if query.op == "verify":
-                actual = actuals[verify_idx.index(pos)]
+                actual = actuals[pos]
                 result["actual_seconds"] = actual
                 result["error_percent"] = (
                     abs(predicted[pos] - actual)
                     / min(predicted[pos], actual)
                     * 100.0
                 )
+                if query.dynamics is not None:
+                    result["dynamics"] = query.dynamics
             results[i] = result
 
     def _predict_batch(self, model, dists) -> List[float]:
@@ -369,13 +380,34 @@ class ServeCoordinator:
             return [float(model.predict(d)) for d in dists]
         return [float(v) for v in model.predict(dists, batch=True)]
 
+    @staticmethod
+    def _dynamics_spec(entry: _ModelEntry, scenario: Optional[str]):
+        """Resolve a verify query's scenario name to a DynamicsSpec.
+
+        ``None`` (static) and the falsy ``stationary`` spec both come
+        back as ``None`` so they share the static emulation/cache path.
+        """
+        if scenario is None:
+            return None
+        from repro.cluster.configs import dynamics_scenario
+
+        spec = dynamics_scenario(scenario, len(entry.cluster.nodes))
+        return spec if spec else None
+
     async def _verify(
-        self, entry: _ModelEntry, dists, predicted: List[float]
+        self, entry: _ModelEntry, dists, predicted: List[float], *,
+        dynamics=None,
     ) -> List[float]:
         """Emulated actual seconds for a round's verify queries, through
-        the on-disk sweep tier and the parallel runner."""
+        the on-disk sweep tier and the parallel runner.
+
+        The sweep tier's keys ignore dynamics, so dynamic-scenario
+        verifies bypass it entirely (neither served from it nor stored
+        into it) — only the content-keyed run cache, whose keys *do*
+        fold in the spec, may short-circuit those emulations.
+        """
         rec = self.telemetry
-        sweep = self.sweep_cache
+        sweep = self.sweep_cache if dynamics is None else None
         actuals: List[Optional[float]] = [None] * len(dists)
         pending: List[int] = []
         for i, d in enumerate(dists):
@@ -395,6 +427,7 @@ class ServeCoordinator:
                 entry,
                 [dists[i] for i in pending],
                 worker_rec,
+                dynamics,
             )
             if rec and worker_rec is not None:
                 rec.merge(worker_rec)
@@ -418,10 +451,12 @@ class ServeCoordinator:
         if rec:
             rec.count("serve/verify_emulated", len(pending))
             rec.count("serve/verify_sweep_hits", len(dists) - len(pending))
+            if dynamics is not None:
+                rec.count("serve/verify_dynamic", len(dists))
         return actuals  # type: ignore[return-value]
 
     def _emulate_pending(
-        self, entry: _ModelEntry, dists, telemetry=None
+        self, entry: _ModelEntry, dists, telemetry=None, dynamics=None
     ) -> List[float]:
         # One coalesced verify round = one batched emulation pass (the
         # ``sim/batch/passes`` counter proves it) — sharded only when
@@ -433,7 +468,8 @@ class ServeCoordinator:
             entry.program,
             dists,
             jobs=self.jobs,
-            cache=self.run_cache,
+            dynamics=dynamics if dynamics is not None else False,
+            run_cache=self.run_cache,
             telemetry=telemetry,
         )
 

@@ -35,6 +35,7 @@ from repro.exceptions import ServeError
 __all__ = [
     "PROTOCOL_VERSION",
     "OPS",
+    "DYNAMICS",
     "Query",
     "encode_message",
     "decode_message",
@@ -55,6 +56,10 @@ APPS = ("jacobi", "cg", "lanczos", "rna", "multigrid")
 CONFIGS = ("DC", "IO", "HY1", "HY2")
 ANCHORS = ("blk", "bal", "ic", "icbal")
 ALGORITHMS = ("gbs", "genetic", "annealing", "random", "sweep")
+#: Named dynamics scenarios ``verify`` accepts (mirrors
+#: ``repro.cluster.configs.DYNAMICS_SCENARIOS``; duplicated here so the
+#: wire layer stays import-light and parse errors stay local).
+DYNAMICS = ("drift", "load-spike", "node-loss", "disk-fade", "stationary")
 
 _MAX_LINE_BYTES = 1 << 20
 
@@ -113,6 +118,8 @@ class Query:
     budget: int = 150
     algorithm: str = "gbs"
     batch_size: int = 64
+    #: Named dynamics scenario for ``verify`` (None = static cluster).
+    dynamics: Optional[str] = None
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "Query":
@@ -137,6 +144,16 @@ class Query:
         budget = 150
         algorithm = "gbs"
         batch_size = 64
+        dynamics = payload.get("dynamics")
+        if dynamics is not None:
+            if op != "verify":
+                raise ServeError(
+                    f"'dynamics' is only valid for op 'verify', not {op!r}"
+                )
+            if dynamics not in DYNAMICS:
+                raise ServeError(
+                    f"unknown dynamics {dynamics!r}; choose from {DYNAMICS}"
+                )
         if op == "search":
             algorithm = _require_choice(
                 payload, "algorithm", ALGORITHMS, default="gbs"
@@ -172,6 +189,7 @@ class Query:
             budget=budget,
             algorithm=algorithm,
             batch_size=batch_size,
+            dynamics=dynamics,
         )
 
     def model_key(self) -> Tuple:
@@ -188,5 +206,13 @@ class Query:
                 self.algorithm,
                 self.budget,
                 self.batch_size,
+            )
+        if self.op == "verify":
+            return (
+                "verify",
+                self.model_key(),
+                self.dist,
+                self.counts,
+                self.dynamics,
             )
         return (self.op, self.model_key(), self.dist, self.counts)

@@ -27,6 +27,7 @@ from repro.sim.memory import MemoryPlan, VariablePlacement, plan_memory
 from repro.sim.perturbation import PerturbationConfig, PerturbationModel
 from repro.sim.steady import FastForwardPolicy, supports_fast_forward
 from repro.sim.executor import (
+    IO_MODES,
     ClusterEmulator,
     RunResult,
     emulate,
@@ -51,6 +52,7 @@ __all__ = [
     "PerturbationModel",
     "FastForwardPolicy",
     "supports_fast_forward",
+    "IO_MODES",
     "ClusterEmulator",
     "RunResult",
     "emulate",

@@ -62,6 +62,11 @@ class DiskModel:
         self._node = node
         self._free_at = 0.0
         self._cache_enabled = cache_enabled
+        #: Multiplier applied to every operation's service time; the
+        #: emulator updates it per iteration when cluster dynamics
+        #: degrade disk bandwidth.  Exactly 1.0 leaves durations
+        #: untouched (bitwise), preserving static-run outputs.
+        self.slowdown = 1.0
         # Page cache left after the application's resident set.
         self._cache_capacity = max(0.0, node.os_cache_bytes - resident_bytes)
         # Per-variable streaming state.
@@ -125,6 +130,8 @@ class DiskModel:
         waits later (prefetch)."""
         frac = self.hit_fraction(name)
         duration = self.read_duration(name, nbytes)
+        if self.slowdown != 1.0:
+            duration *= self.slowdown
         self._advance_stream(name, nbytes)
         start = max(now, self._free_at)
         self._free_at = start + duration
@@ -135,6 +142,8 @@ class DiskModel:
     def submit_write(self, now: float, name: str, nbytes: float) -> DiskOp:
         """Queue a write-through."""
         duration = self.write_duration(nbytes)
+        if self.slowdown != 1.0:
+            duration *= self.slowdown
         start = max(now, self._free_at)
         self._free_at = start + duration
         return DiskOp(

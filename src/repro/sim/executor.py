@@ -17,8 +17,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
 from repro.cluster.cluster import ClusterSpec
+from repro.cluster.dynamics import DynamicsSpec, DynamicsTimeline
 from repro.distribution.genblock import GenBlock
 from repro.exceptions import SimulationError
+from repro.obs.deprecation import warn_once
 from repro.placement import MemoryPlan
 from repro.program.sections import CommPattern
 from repro.program.stages import Stage
@@ -70,6 +72,47 @@ def set_fast_forward_default(enabled: bool) -> bool:
 def fast_forward_default() -> bool:
     """The current process-wide fast-forward default."""
     return _FAST_FORWARD_DEFAULT
+
+
+#: Sentinel distinguishing "not passed" from any real value in the
+#: deprecated-keyword shims.
+_UNSET = object()
+
+#: Valid ``io_mode`` values for the consolidated emulation API.
+IO_MODES = ("auto", "sync", "prefetch", "instrumented")
+
+
+def _resolve_io_mode(io_mode: str) -> Tuple[bool, Optional[bool]]:
+    """``io_mode`` -> ``(instrumented, prefetch_override)``.
+
+    * ``"auto"`` — follow the program (prefetch iff it was built with
+      prefetching); the default and the only mode compiled emulation
+      plans serve.
+    * ``"sync"`` / ``"prefetch"`` — force the streaming style of
+      out-of-core stages regardless of how the program was built.
+    * ``"instrumented"`` — the paper's measurement iteration: every
+      distributed variable forced out of core, prefetches blocking.
+    """
+    if io_mode not in IO_MODES:
+        raise SimulationError(
+            f"unknown io_mode {io_mode!r}; choose from {IO_MODES}"
+        )
+    if io_mode == "instrumented":
+        return True, None
+    overrides = {"auto": None, "sync": False, "prefetch": True}
+    return False, overrides[io_mode]
+
+
+def _resolve_dynamics(
+    cluster: ClusterSpec, dynamics
+) -> Optional[DynamicsSpec]:
+    """Effective dynamics for a run: an explicit spec wins, ``None``
+    falls back to whatever is attached to the cluster, ``False`` forces
+    the static path.  Empty (stationary) specs collapse to ``None``."""
+    if dynamics is False:
+        return None
+    spec = cluster.dynamics if dynamics is None else dynamics
+    return spec if spec else None
 
 
 def _tile_bounds(start: int, stop: int, tiles: int, tile: int) -> Tuple[int, int]:
@@ -130,6 +173,7 @@ class _NodeCtx:
         "perturb",
         "replicated_bytes",
         "iteration_ends",
+        "dyn_compute",
     )
 
     def __init__(self, rank, spec, net, disk, plan, observer, perturb, replicated):
@@ -144,6 +188,9 @@ class _NodeCtx:
         self.perturb: PerturbationModel = perturb
         self.replicated_bytes = replicated
         self.iteration_ends: List[float] = []
+        #: Duration multiplier from cluster dynamics for the current
+        #: iteration; exactly 1.0 on static runs (never touched).
+        self.dyn_compute = 1.0
 
     # -- tracing -----------------------------------------------------------
 
@@ -226,6 +273,7 @@ class ClusterEmulator:
         program: ProgramStructure,
         perturbation: Optional[PerturbationConfig] = None,
         fast_forward_policy: Optional[FastForwardPolicy] = None,
+        dynamics=None,
     ) -> None:
         self.cluster = cluster
         self.program = program
@@ -237,6 +285,10 @@ class ClusterEmulator:
             if fast_forward_policy is not None
             else FastForwardPolicy()
         )
+        #: Effective time-varying behaviour: an explicit spec, the
+        #: cluster's attached one, or ``None`` (static).  ``False``
+        #: forces static even on a dynamic cluster.
+        self.dynamics = _resolve_dynamics(cluster, dynamics)
         # Resolved lazily and pinned: the plan LRU lookup hashes the
         # whole (cluster, program, perturbation) content on every call,
         # which would otherwise dominate a warm plan-served run.
@@ -248,28 +300,40 @@ class ClusterEmulator:
         self,
         distribution: GenBlock,
         *,
-        observer: Optional[Observer] = None,
-        instrumented: bool = False,
         iterations: Optional[int] = None,
+        io_mode: str = "auto",
         fast_forward: Optional[bool] = None,
+        observer: Optional[Observer] = None,
         telemetry=None,
+        iteration_offset: int = 0,
+        instrumented=_UNSET,
     ) -> RunResult:
         """Run the program and return timing.
 
-        ``instrumented`` reproduces the paper's instrumented iteration:
-        every distributed variable is forced out of core so its I/O
-        latencies can be measured, and prefetch issues become blocking
-        reads with no-op waits (paper Figure 5).  ``iterations``
-        overrides the program's iteration count (the instrumented run
-        uses 1).
+        ``io_mode`` selects how out-of-core stages stream (see
+        :data:`IO_MODES`): ``"auto"`` follows the program,
+        ``"sync"``/``"prefetch"`` force a streaming style, and
+        ``"instrumented"`` reproduces the paper's measurement iteration
+        — every distributed variable forced out of core, prefetch
+        issues turned into blocking reads (paper Figure 5).
+        ``iterations`` overrides the program's iteration count (the
+        instrumented run uses 1).
 
         ``fast_forward`` controls the steady-state cycle fast path
         (:mod:`repro.sim.steady`): ``None`` follows the process-wide
         default (on; see :func:`set_fast_forward_default`), ``False``
         forces full event-by-event simulation.  The fast path engages
-        only for unobserved, deterministic, iteration-invariant runs
-        whose probe converges — everything else falls back to full
+        only for unobserved, deterministic, iteration-invariant,
+        *stationary* runs whose probe converges — everything else
+        (including any active cluster dynamics) falls back to full
         simulation automatically.
+
+        ``iteration_offset`` emulates a mid-run segment: iterations
+        ``[offset, offset + n)`` of the global schedule.  Dynamics
+        factors and iteration profiles are indexed globally, so a
+        segment sees exactly the conditions those iterations of a
+        continuous run would (modulo cold pipeline/page-cache state at
+        the segment boundary).  Offset segments never fast-forward.
 
         ``telemetry`` takes a :class:`repro.obs.Recorder` and records
         per-node phase totals (a :class:`PhaseAccumulator` chained into
@@ -278,7 +342,18 @@ class ClusterEmulator:
         gating — it rides along on whatever iterations are actually
         simulated (the probe, under fast-forward), so enabling
         telemetry never changes the simulated timing or the decision.
+
+        ``instrumented=`` is a deprecated alias for
+        ``io_mode="instrumented"`` (warns once per process).
         """
+        if instrumented is not _UNSET:
+            warn_once(
+                "ClusterEmulator.run(instrumented=)",
+                'ClusterEmulator.run(io_mode="instrumented")',
+            )
+            if instrumented:
+                io_mode = "instrumented"
+        instr, io_override = _resolve_io_mode(io_mode)
         if distribution.n_nodes != self.cluster.n_nodes:
             raise SimulationError(
                 f"distribution has {distribution.n_nodes} blocks for "
@@ -289,7 +364,17 @@ class ClusterEmulator:
                 f"distribution covers {distribution.n_rows} rows, program "
                 f"has {self.program.n_rows}"
             )
+        if iteration_offset < 0:
+            raise SimulationError(
+                f"iteration_offset must be >= 0, got {iteration_offset}"
+            )
         n_iter = iterations if iterations is not None else self.program.iterations
+
+        timeline: Optional[DynamicsTimeline] = None
+        if self.dynamics is not None:
+            timeline = self.dynamics.compile(
+                self.cluster.n_nodes, n_iter, iteration_offset
+            )
 
         phase: Optional[PhaseAccumulator] = None
         sim_observer = observer
@@ -301,12 +386,14 @@ class ClusterEmulator:
         policy = self.fast_forward_policy
         if (
             use_fast
+            and iteration_offset == 0
             and n_iter > policy.probe_iterations
             and supports_fast_forward(
                 self.program,
                 self.perturbation,
                 observer=observer,
-                instrumented=instrumented,
+                instrumented=instr,
+                dynamics=self.dynamics,
             )
         ):
             # Compiled-plan replay first: when this configuration's
@@ -314,22 +401,25 @@ class ClusterEmulator:
             # over precompiled schedules instead of an event-engine
             # simulation; the convergence check and extrapolation are
             # the same.  Any plan miss (retired plan, non-converged
-            # probe) falls through to the engine probe below.
-            result = self._plan_fast_forward(
-                distribution, n_iter, policy, telemetry
-            )
-            if result is not None:
-                if telemetry:
-                    self._record_run_telemetry(telemetry, phase, result)
-                return result
+            # probe) falls through to the engine probe below.  Plans
+            # are compiled for the program's own streaming style, so a
+            # forced ``io_mode`` only rides them when it matches.
+            if io_override is None or io_override == bool(self.program.prefetch):
+                result = self._plan_fast_forward(
+                    distribution, n_iter, policy, telemetry
+                )
+                if result is not None:
+                    if telemetry:
+                        self._record_run_telemetry(telemetry, phase, result)
+                    return result
             # Probe the first few iterations; the probe's prefix is
             # identical to the full run's (messages never cross
             # iteration boundaries and no RNG is drawn), so on
             # convergence the tail extrapolates and on failure we
             # simply simulate from scratch.
             probe = self._simulate(
-                distribution, sim_observer, instrumented,
-                policy.probe_iterations,
+                distribution, sim_observer, instr,
+                policy.probe_iterations, io_override=io_override,
             )
             deltas = steady_deltas(probe.iteration_ends, policy)
             if deltas is not None:
@@ -337,7 +427,11 @@ class ClusterEmulator:
                 if telemetry:
                     self._record_run_telemetry(telemetry, phase, result)
                 return result
-        result = self._simulate(distribution, sim_observer, instrumented, n_iter)
+        result = self._simulate(
+            distribution, sim_observer, instr, n_iter,
+            timeline=timeline, offset=iteration_offset,
+            io_override=io_override,
+        )
         if telemetry:
             self._record_run_telemetry(telemetry, phase, result)
         return result
@@ -366,13 +460,19 @@ class ClusterEmulator:
         observer: Optional[Observer],
         instrumented: bool,
         n_iter: int,
+        timeline: Optional[DynamicsTimeline] = None,
+        offset: int = 0,
+        io_override: Optional[bool] = None,
     ) -> RunResult:
         """Full event-by-event simulation of ``n_iter`` iterations."""
         engine = Engine()
         contexts = self._make_contexts(distribution, observer, instrumented)
         for ctx in contexts:
             engine.add_process(
-                self._node_process(ctx, contexts, distribution, n_iter, instrumented),
+                self._node_process(
+                    ctx, contexts, distribution, n_iter, instrumented,
+                    timeline, offset, io_override,
+                ),
                 node=ctx.rank,
             )
         total = engine.run()
@@ -526,19 +626,30 @@ class ClusterEmulator:
 
     # -- node program ---------------------------------------------------------------
 
-    def _node_process(self, ctx, contexts, distribution, n_iter, instrumented):
+    def _node_process(
+        self, ctx, contexts, distribution, n_iter, instrumented,
+        timeline=None, offset=0, io_override=None,
+    ):
         program = self.program
-        for it in range(n_iter):
+        for local_it in range(n_iter):
+            it = local_it + offset
+            if timeline is not None:
+                ctx.dyn_compute = timeline.compute_multiplier(ctx.rank, it)
+                ctx.disk.slowdown = timeline.disk_slowdown(ctx.rank, it)
             for si, section in enumerate(program.sections):
                 yield from self._run_section(
-                    ctx, distribution, it, si, section, instrumented
+                    ctx, distribution, it, si, section, instrumented,
+                    io_override,
                 )
             ctx.iteration_ends.append(ctx.now)
             ctx.observe(
                 Op.ITERATION_END, it, "", 0, None, None, ctx.now
             )
 
-    def _run_section(self, ctx, distribution, it, si, section, instrumented):
+    def _run_section(
+        self, ctx, distribution, it, si, section, instrumented,
+        io_override=None,
+    ):
         pattern = section.comm.pattern
         rank = ctx.rank
         P = self.cluster.n_nodes
@@ -551,7 +662,8 @@ class ClusterEmulator:
                         rank - 1, f"{it}:{si}:pipe:{tile}", it, section.name
                     )
                 yield from self._run_stages(
-                    ctx, distribution, it, si, section, tile, instrumented
+                    ctx, distribution, it, si, section, tile, instrumented,
+                    io_override,
                 )
                 if rank < P - 1:
                     yield from ctx.send_msg(
@@ -565,7 +677,8 @@ class ClusterEmulator:
 
         for tile in range(section.tiles):
             yield from self._run_stages(
-                ctx, distribution, it, si, section, tile, instrumented
+                ctx, distribution, it, si, section, tile, instrumented,
+                io_override,
             )
 
         if P == 1 or pattern is CommPattern.NONE:
@@ -682,7 +795,10 @@ class ClusterEmulator:
             work *= program.iteration_multiplier(it)
         nominal = ctx.spec.compute_seconds(work)
         ws = self._working_set_bytes(ctx, stage)
-        return ctx.perturb.perturb_compute(ctx.spec, nominal, ws)
+        seconds = ctx.perturb.perturb_compute(ctx.spec, nominal, ws)
+        if ctx.dyn_compute != 1.0:
+            seconds *= ctx.dyn_compute
+        return seconds
 
     def _working_set_bytes(self, ctx, stage: Stage) -> float:
         ws = float(ctx.replicated_bytes)
@@ -693,19 +809,22 @@ class ClusterEmulator:
             ws += placement.local_bytes if placement.in_core else placement.icla_bytes
         return ws
 
-    def _run_stages(self, ctx, distribution, it, si, section, tile, instrumented):
+    def _run_stages(
+        self, ctx, distribution, it, si, section, tile, instrumented,
+        io_override=None,
+    ):
         start_row, stop_row = distribution.rows_of(ctx.rank)
         tile_lo, tile_hi = _tile_bounds(start_row, stop_row, section.tiles, tile)
         node_rows = stop_row - start_row
         for stage in section.stages:
             yield from self._run_stage(
                 ctx, it, section, stage, tile, tile_lo, tile_hi, node_rows,
-                instrumented,
+                instrumented, io_override,
             )
 
     def _run_stage(
         self, ctx, it, section, stage, tile, tile_lo, tile_hi, node_rows,
-        instrumented,
+        instrumented, io_override=None,
     ):
         program = self.program
         total_compute = self._stage_compute_seconds(
@@ -734,7 +853,10 @@ class ClusterEmulator:
             )
         else:
             write_back = primary in stage.writes and var_map[primary].writes_back
-            use_prefetch = program.prefetch and not instrumented
+            prefetch = (
+                program.prefetch if io_override is None else io_override
+            )
+            use_prefetch = prefetch and not instrumented
             yield from self._primary_loop(
                 ctx,
                 primary,
@@ -857,56 +979,99 @@ def _copy_result(result: RunResult) -> RunResult:
     )
 
 
+def _legacy_emulate_kwargs(entry, io_mode, run_cache, instrumented, cache):
+    """Map the deprecated ``instrumented=``/``cache=`` keywords onto the
+    consolidated ``io_mode=``/``run_cache=`` ones, warning once each."""
+    if instrumented is not _UNSET:
+        warn_once(
+            f"{entry}(instrumented=)", f'{entry}(io_mode="instrumented")'
+        )
+        if instrumented:
+            io_mode = "instrumented"
+    if cache is not _UNSET:
+        warn_once(f"{entry}(cache=)", f"{entry}(run_cache=)")
+        run_cache = cache
+    return io_mode, run_cache
+
+
 def emulate(
     cluster: ClusterSpec,
     program: ProgramStructure,
     distribution: GenBlock,
     *,
-    perturbation: Optional[PerturbationConfig] = None,
     iterations: Optional[int] = None,
-    observer: Optional[Observer] = None,
-    instrumented: bool = False,
+    io_mode: str = "auto",
+    perturbation: Optional[PerturbationConfig] = None,
+    dynamics=None,
     fast_forward: Optional[bool] = None,
-    cache: Union[None, bool, "object"] = None,
+    run_cache: Union[None, bool, "object"] = None,
     telemetry=None,
+    observer: Optional[Observer] = None,
+    iteration_offset: int = 0,
+    instrumented=_UNSET,
+    cache=_UNSET,
 ) -> RunResult:
     """One emulated run, memoised in the shared content-keyed run cache.
 
-    An emulated run is a pure function of ``(cluster, program,
-    distribution, iterations, perturbation, instrumented)`` — even the
-    perturbed ones, whose RNG streams are seeded from those labels — so
-    identical configurations across experiment panels, benchmark
-    repetitions and adaptive-runtime phases can share one simulation.
+    This is the single keyword-driven entry point for emulation (the
+    emulator-side mirror of the consolidated ``predict()``):
 
-    ``cache`` selects the memoisation store: ``None`` (default) uses
-    the process-wide :func:`repro.parallel.cache.default_run_cache`,
-    ``False`` bypasses caching entirely, and any
-    :class:`repro.parallel.cache.RunCache` instance is used directly.
-    Observed runs always bypass the cache (the observer's callbacks are
-    the point of the run).  Hits return a defensive copy, so callers
-    may mutate the result freely.
+    * ``io_mode`` — ``"auto"`` | ``"sync"`` | ``"prefetch"`` |
+      ``"instrumented"`` (see :meth:`ClusterEmulator.run`);
+    * ``dynamics`` — ``None`` honours whatever
+      :class:`~repro.cluster.dynamics.DynamicsSpec` is attached to the
+      cluster, an explicit spec overrides it, ``False`` forces the
+      static path;
+    * ``run_cache`` — ``None`` (default) uses the process-wide
+      :func:`repro.parallel.cache.default_run_cache`, ``False``
+      bypasses caching entirely, any
+      :class:`repro.parallel.cache.RunCache` instance is used directly;
+    * ``iteration_offset`` — emulate a mid-run segment (global
+      iteration indexing; see :meth:`ClusterEmulator.run`).
+
+    An emulated run is a pure function of ``(cluster, program,
+    distribution, iterations, perturbation, dynamics, io_mode)`` — even
+    the perturbed and dynamic ones, whose RNG streams are seeded from
+    those labels — so identical configurations across experiment
+    panels, benchmark repetitions and adaptive-runtime rounds share one
+    simulation.  Observed runs always bypass the cache (the observer's
+    callbacks are the point of the run).  Hits return a defensive copy,
+    so callers may mutate the result freely.
 
     ``telemetry`` takes a :class:`repro.obs.Recorder`: run-cache
     hit/miss counters land under ``sim/run_cache/``, and cache misses
     record the run's phase telemetry (see :meth:`ClusterEmulator.run`).
     A hit performs no simulation, so only the counters move.
+
+    ``instrumented=`` and ``cache=`` are deprecated aliases for
+    ``io_mode="instrumented"`` and ``run_cache=`` (each warns once).
     """
-    emulator = ClusterEmulator(cluster, program, perturbation)
-    if observer is not None or cache is False:
+    io_mode, run_cache = _legacy_emulate_kwargs(
+        "emulate", io_mode, run_cache, instrumented, cache
+    )
+    instr, _ = _resolve_io_mode(io_mode)
+    dyn = _resolve_dynamics(cluster, dynamics)
+    # dyn is fully resolved; False stops the emulator's own
+    # cluster-attached fallback from re-resolving a None.
+    emulator = ClusterEmulator(
+        cluster, program, perturbation, dynamics=dyn if dyn is not None else False
+    )
+    if observer is not None or run_cache is False:
         if telemetry:
             telemetry.count("sim/run_cache/bypasses")
         return emulator.run(
             distribution,
-            observer=observer,
-            instrumented=instrumented,
             iterations=iterations,
+            io_mode=io_mode,
             fast_forward=fast_forward,
+            observer=observer,
             telemetry=telemetry,
+            iteration_offset=iteration_offset,
         )
 
     from repro.parallel.cache import RunCache, default_run_cache
 
-    store = default_run_cache() if cache is None else cache
+    store = default_run_cache() if run_cache is None else run_cache
     n_iter = iterations if iterations is not None else program.iterations
     use_fast = _FAST_FORWARD_DEFAULT if fast_forward is None else bool(fast_forward)
     key = RunCache.key(
@@ -915,8 +1080,11 @@ def emulate(
         distribution,
         n_iter,
         emulator.perturbation,
-        instrumented=instrumented,
+        instrumented=instr,
         fast_forward=use_fast,
+        dynamics=dyn,
+        io_mode=io_mode,
+        iteration_offset=iteration_offset,
     )
     # The store holds frozen (tuple-field) payloads and thaws on get,
     # so hits hand out private mutable lists without a deep copy.
@@ -927,10 +1095,11 @@ def emulate(
         return hit
     result = emulator.run(
         distribution,
-        instrumented=instrumented,
         iterations=iterations,
+        io_mode=io_mode,
         fast_forward=fast_forward,
         telemetry=telemetry,
+        iteration_offset=iteration_offset,
     )
     store.put(key, result)
     if telemetry:
@@ -946,11 +1115,15 @@ def emulate_many(
     program: ProgramStructure,
     distributions,
     *,
-    perturbation: Optional[PerturbationConfig] = None,
     iterations: Optional[int] = None,
+    io_mode: str = "auto",
+    perturbation: Optional[PerturbationConfig] = None,
+    dynamics=None,
     fast_forward: Optional[bool] = None,
-    cache: Union[None, bool, "object"] = None,
+    run_cache: Union[None, bool, "object"] = None,
     telemetry=None,
+    iteration_offset: int = 0,
+    cache=_UNSET,
 ) -> List[RunResult]:
     """Emulate a whole population of candidates in one batched pass.
 
@@ -962,26 +1135,39 @@ def emulate_many(
     identical gating, convergence checks and extrapolation, only
     amortised differently.
 
-    The run cache is consulted up front (duplicates inside the batch
-    are deduplicated too) and all fresh results land back in one
-    :meth:`~repro.parallel.cache.RunCache.put_many`.  ``cache`` follows
-    :func:`emulate`: ``None`` for the process-wide store, ``False`` to
-    bypass, or an explicit :class:`~repro.parallel.cache.RunCache`.
+    Keywords mirror :func:`emulate` (``io_mode``, ``dynamics``,
+    ``iteration_offset``); dynamic-cluster batches take the
+    per-candidate fallback path since the compiled plan assumes a
+    stationary iteration.  The run cache is consulted up front
+    (duplicates inside the batch are deduplicated too) and all fresh
+    results land back in one
+    :meth:`~repro.parallel.cache.RunCache.put_many`.  ``run_cache``
+    follows :func:`emulate`: ``None`` for the process-wide store,
+    ``False`` to bypass, or an explicit
+    :class:`~repro.parallel.cache.RunCache`.  ``cache=`` is the
+    deprecated alias for ``run_cache=`` (warns once).
 
     Telemetry: one ``sim/batch/passes`` count per call — the
     coalesced-round invariant the serve verify path asserts — plus
     candidate/hit/fallback counters under ``sim/batch/``.
     """
+    io_mode, run_cache = _legacy_emulate_kwargs(
+        "emulate_many", io_mode, run_cache, _UNSET, cache
+    )
+    instr, io_override = _resolve_io_mode(io_mode)
+    dyn = _resolve_dynamics(cluster, dynamics)
     distributions = list(distributions)
-    emulator = ClusterEmulator(cluster, program, perturbation)
+    emulator = ClusterEmulator(
+        cluster, program, perturbation, dynamics=dyn if dyn is not None else False
+    )
     n_iter = iterations if iterations is not None else program.iterations
     use_fast = _FAST_FORWARD_DEFAULT if fast_forward is None else bool(fast_forward)
 
     store = None
-    if cache is not False:
+    if run_cache is not False:
         from repro.parallel.cache import default_run_cache
 
-        store = default_run_cache() if cache is None else cache
+        store = default_run_cache() if run_cache is None else run_cache
 
     results: List[Optional[RunResult]] = [None] * len(distributions)
     keys: List[Optional[str]] = [None] * len(distributions)
@@ -994,8 +1180,11 @@ def emulate_many(
             program,
             n_iter,
             emulator.perturbation,
-            instrumented=False,
+            instrumented=instr,
             fast_forward=use_fast,
+            dynamics=dyn,
+            io_mode=io_mode,
+            iteration_offset=iteration_offset,
         )
         for i, dist in enumerate(distributions):
             keys[i] = RunCache.key_from_base(base, dist.counts)
@@ -1024,8 +1213,12 @@ def emulate_many(
         batch_ends = None
         if (
             use_fast
+            and iteration_offset == 0
             and n_iter > policy.probe_iterations
-            and supports_fast_forward(program, emulator.perturbation)
+            and (io_override is None or io_override == bool(program.prefetch))
+            and supports_fast_forward(
+                program, emulator.perturbation, instrumented=instr, dynamics=dyn
+            )
         ):
             from repro.sim.plan_sim import get_emulation_plan
 
@@ -1050,8 +1243,10 @@ def emulate_many(
                 result = emulator.run(
                     dist,
                     iterations=n_iter,
+                    io_mode=io_mode,
                     fast_forward=use_fast,
                     telemetry=telemetry,
+                    iteration_offset=iteration_offset,
                 )
                 fallbacks += 1
             results[i] = result

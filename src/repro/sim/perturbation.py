@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.cluster.dynamics import LoadTrace
 from repro.cluster.node import NodeSpec
 from repro.util.rng import stream
 
@@ -82,7 +83,22 @@ class PerturbationModel:
 
     def __post_init__(self) -> None:
         self._rng = stream(self.config.seed_label, *self.run_labels)
-        self._load_state = self.config.background_load
+        # The background-load process samples its own dedicated RNG
+        # stream (suffixed "background"), NOT the shared noise stream:
+        # otherwise toggling ``compute_noise`` would shift which draws
+        # the load process sees and change its trajectory, so noise and
+        # load ablations would not compose.
+        cfg = self.config
+        if cfg.background_load > 0.0:
+            trace = LoadTrace(
+                mean=cfg.background_load,
+                volatility=cfg.background_volatility,
+                persistence=cfg.background_persistence,
+                seed_label=cfg.seed_label,
+            )
+            self._load = trace.sampler(*self.run_labels, "background")
+        else:
+            self._load = None
 
     # -- computation ------------------------------------------------------
 
@@ -110,22 +126,16 @@ class PerturbationModel:
     def background_factor(self) -> float:
         """Slowdown from competing jobs on a non-dedicated node.
 
-        The load follows a slowly drifting AR(1) process around the
+        The load follows a slowly drifting AR(1) process
+        (:class:`~repro.cluster.dynamics.LoadTrace`) around the
         configured mean; a stage that would take ``t`` seconds alone
         takes ``t / (1 - load)`` when a ``load`` fraction of the CPU is
         stolen.  With ``background_load == 0`` (the paper's dedicated
-        environment) this is exactly 1.
+        environment) this is exactly 1 and no RNG draw is made.
         """
-        mean = self.config.background_load
-        if mean <= 0.0:
+        if self._load is None:
             return 1.0
-        rho = self.config.background_persistence
-        sigma = self.config.background_volatility * mean
-        innovation = self._rng.normal(mean * (1.0 - rho), sigma * (1.0 - rho))
-        self._load_state = float(
-            np.clip(rho * self._load_state + innovation, 0.0, 0.9)
-        )
-        return 1.0 / (1.0 - self._load_state)
+        return self._load.factor()
 
     # -- convenience -------------------------------------------------------
 

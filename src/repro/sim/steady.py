@@ -83,7 +83,8 @@ class FastForwardPolicy:
 
 
 def supports_fast_forward(program, perturbation, *, observer=None,
-                          instrumented: bool = False) -> bool:
+                          instrumented: bool = False,
+                          dynamics=None) -> bool:
     """Structural eligibility: is this run iteration-invariant and
     unobserved, so that cycle fast-forward *could* apply?
 
@@ -95,6 +96,10 @@ def supports_fast_forward(program, perturbation, *, observer=None,
     * Computation noise and background load draw from the run's RNG
       stream on every stage execution: iterations differ by design,
       and skipping them would desynchronise the stream.
+    * Cluster dynamics (a truthy
+      :class:`~repro.cluster.dynamics.DynamicsSpec`) make node speeds
+      a function of the iteration index — the run is non-stationary
+      and the steady cycle never forms.
     """
     if observer is not None or instrumented:
         return False
@@ -103,6 +108,8 @@ def supports_fast_forward(program, perturbation, *, observer=None,
     if perturbation.compute_noise:
         return False
     if perturbation.background_load > 0.0:
+        return False
+    if dynamics:
         return False
     return True
 

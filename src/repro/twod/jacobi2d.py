@@ -87,12 +87,19 @@ class TwoDEmulator:
         cluster: ClusterSpec,
         spec: Jacobi2DSpec,
         perturbation: Optional[PerturbationConfig] = None,
+        dynamics=None,
     ) -> None:
+        from repro.sim.executor import _resolve_dynamics
+
         self.cluster = cluster
         self.spec = spec
         self.perturbation = (
             perturbation if perturbation is not None else PerturbationConfig()
         )
+        #: Resolved cluster dynamics (``None`` = static), following the
+        #: 1-D emulator: ``None`` honours ``cluster.dynamics``, an
+        #: explicit spec overrides it, ``False`` forces static.
+        self.dynamics = _resolve_dynamics(cluster, dynamics)
 
     # -- placement ---------------------------------------------------------
 
@@ -117,47 +124,88 @@ class TwoDEmulator:
         dist: GenBlock2D,
         *,
         iterations: Optional[int] = None,
-        instrumented: bool = False,
-        collector: Optional["_TwoDCollector"] = None,
+        io_mode: str = "auto",
         fast_forward: Optional[bool] = None,
-        policy: Optional[FastForwardPolicy] = None,
+        observer: Optional["_TwoDCollector"] = None,
         telemetry: Optional[Recorder] = None,
+        iteration_offset: int = 0,
+        policy: Optional[FastForwardPolicy] = None,
+        instrumented=None,
+        collector=None,
     ) -> float:
         """Total emulated seconds of ``n_iter`` 2-D Jacobi iterations.
 
+        The keyword surface mirrors :meth:`ClusterEmulator.run`
+        (``io_mode``, ``observer``, ``iteration_offset``); the 2-D
+        kernel streams synchronously, so ``io_mode="prefetch"`` is
+        rejected.  ``instrumented=``/``collector=`` are deprecated
+        aliases for ``io_mode="instrumented"``/``observer=`` (each
+        warns once).
+
         Fast-forward follows the 1-D emulator exactly: structurally
-        eligible runs (:func:`supports_fast_forward` — a collector
-        counts as an observer) simulate only the probe window, and if
-        every rank's iteration-end deltas have settled the rest is
-        extrapolated closed-form; anything else falls back to the full
-        event loop, bit for bit.
+        eligible runs (:func:`supports_fast_forward` — an observer or
+        attached cluster dynamics disqualify) simulate only the probe
+        window, and if every rank's iteration-end deltas have settled
+        the rest is extrapolated closed-form; anything else falls back
+        to the full event loop, bit for bit.
         """
+        if instrumented is not None:
+            warn_once(
+                "TwoDEmulator.run(instrumented=)",
+                'TwoDEmulator.run(io_mode="instrumented")',
+            )
+            if instrumented:
+                io_mode = "instrumented"
+        if collector is not None:
+            warn_once(
+                "TwoDEmulator.run(collector=)", "TwoDEmulator.run(observer=)"
+            )
+            observer = collector
+        from repro.sim.executor import _resolve_io_mode
+
+        instr, io_override = _resolve_io_mode(io_mode)
+        if io_override:  # the 2-D kernel has no prefetch pipeline
+            raise SimulationError(
+                'TwoDEmulator has no prefetch path; use io_mode="auto" '
+                'or "sync"'
+            )
         if dist.n_nodes != self.cluster.n_nodes:
             raise SimulationError("grid shape does not cover the cluster")
         if dist.n_rows != self.spec.n_rows or dist.n_cols != self.spec.n_cols:
             raise SimulationError("distribution does not cover the array")
+        if iteration_offset < 0:
+            raise SimulationError(
+                f"iteration_offset must be >= 0, got {iteration_offset}"
+            )
         n_iter = iterations if iterations is not None else self.spec.iterations
         if fast_forward is None:
             from repro.sim.executor import fast_forward_default
 
             fast_forward = fast_forward_default()
         policy = policy if policy is not None else FastForwardPolicy()
+        timeline = None
+        if self.dynamics is not None:
+            timeline = self.dynamics.compile(
+                self.cluster.n_nodes, n_iter, iteration_offset
+            )
         rec = as_recorder(telemetry)
         if (
             fast_forward
+            and iteration_offset == 0
             and n_iter > policy.probe_iterations
             and supports_fast_forward(
                 self.spec,
                 self.perturbation,
-                observer=collector,
-                instrumented=instrumented,
+                observer=observer,
+                instrumented=instr,
+                dynamics=self.dynamics,
             )
         ):
             ends: List[List[float]] = [[] for _ in range(dist.n_nodes)]
             with rec.span("sim/twod/run"):
                 self._engine_run(
-                    dist, policy.probe_iterations, instrumented,
-                    collector, ends,
+                    dist, policy.probe_iterations, instr,
+                    observer, ends,
                 )
                 deltas = steady_deltas(ends, policy)
                 if deltas is not None:
@@ -175,12 +223,14 @@ class TwoDEmulator:
                 # Non-converging probe: fall back to an untouched full
                 # simulation (probe state is discarded entirely).
                 seconds = self._engine_run(
-                    dist, n_iter, instrumented, collector, None
+                    dist, n_iter, instr, observer, None,
+                    timeline=timeline, offset=iteration_offset,
                 )
         else:
             with rec.span("sim/twod/run"):
                 seconds = self._engine_run(
-                    dist, n_iter, instrumented, collector, None
+                    dist, n_iter, instr, observer, None,
+                    timeline=timeline, offset=iteration_offset,
                 )
         if rec:
             rec.count("sim/twod/runs")
@@ -189,16 +239,19 @@ class TwoDEmulator:
             rec.observe("sim/twod/seconds", seconds)
         return seconds
 
-    def _engine_run(self, dist, n_iter, instrumented, collector, ends):
+    def _engine_run(self, dist, n_iter, instrumented, collector, ends,
+                    timeline=None, offset=0):
         engine = Engine()
         for rank in range(dist.n_nodes):
             engine.add_process(
-                self._node(rank, dist, n_iter, instrumented, collector, ends),
+                self._node(rank, dist, n_iter, instrumented, collector, ends,
+                           timeline=timeline, offset=offset),
                 node=rank,
             )
         return engine.run()
 
-    def _node(self, rank, dist, n_iter, instrumented, collector, ends=None):
+    def _node(self, rank, dist, n_iter, instrumented, collector, ends=None,
+              timeline=None, offset=0):
         spec = self.spec
         node = self.cluster[rank]
         net = self.cluster.network
@@ -231,12 +284,20 @@ class TwoDEmulator:
                 now = float((yield Delay(seconds)))
 
         neighbors = dist.neighbors(rank)
-        for it in range(n_iter):
+        for local_it in range(n_iter):
+            it = local_it + offset
+            if timeline is not None:
+                dyn_compute = timeline.compute_multiplier(rank, it)
+                disk.slowdown = timeline.disk_slowdown(rank, it)
+            else:
+                dyn_compute = 1.0
             # -- stage: sweep the tile (streaming if out of core) ----------
             work = rows * cols * spec.work_per_element
             nominal = node.compute_seconds(work)
             ws = chunk_rows * row_bytes if not in_core else tile_bytes
             compute_total = perturb.perturb_compute(node, nominal, ws)
+            if dyn_compute != 1.0:
+                compute_total *= dyn_compute
             compute_done = 0.0
             if in_core:
                 start = now
@@ -758,7 +819,7 @@ def build_2d_model(
     rng = stream("2d-measurement", cluster.name, spec.n_rows, spec.n_cols)
     collector = _TwoDCollector(measurement, rng)
     emulator = TwoDEmulator(cluster, spec, perturbation)
-    emulator.run(d0, iterations=1, instrumented=True, collector=collector)
+    emulator.run(d0, iterations=1, io_mode="instrumented", observer=collector)
     P = cluster.n_nodes
     read_pb = []
     write_pb = []

@@ -376,6 +376,59 @@ class TestCoordinator:
         assert path.exists()
         assert SweepCache(path).lookup(cluster, program, dist) is not None
 
+    def test_verify_dynamics_bypasses_sweep_tier(self, tmp_path):
+        """A dynamic-scenario verify matches the library emulation, never
+        reads or pollutes the static sweep cache, and rejects dynamics on
+        other ops."""
+        from repro.cluster import dynamics_scenario
+        from repro.sim import emulate
+
+        sweep = SweepCache(tmp_path / "serve-sweep.json")
+        rec = Recorder()
+        coordinator = ServeCoordinator(
+            window_seconds=0.01, sweep_cache=sweep, telemetry=rec
+        )
+        cluster = config_dc()
+        program = application_by_name("jacobi", SCALE).structure
+        dist = block(cluster, program.n_rows)
+
+        async def main():
+            async with _serve_fixture(coordinator) as client:
+                static, drifted = await asyncio.gather(
+                    client.verify(
+                        "jacobi", config="DC", scale=SCALE, dist="blk"
+                    ),
+                    client.verify(
+                        "jacobi", config="DC", scale=SCALE, dist="blk",
+                        dynamics="drift",
+                    ),
+                )
+                bad = await asyncio.gather(
+                    client.predict(
+                        "jacobi", config="DC", scale=SCALE, dist="blk",
+                        dynamics="drift",
+                    ),
+                    return_exceptions=True,
+                )
+                return static, drifted, bad[0]
+
+        static, drifted, bad = run(main())
+        spec = dynamics_scenario("drift", cluster.n_nodes)
+        assert static["actual_seconds"] == emulate(
+            cluster, program, dist
+        ).total_seconds
+        assert drifted["actual_seconds"] == emulate(
+            cluster, program, dist, dynamics=spec
+        ).total_seconds
+        assert drifted["dynamics"] == "drift"
+        assert drifted["actual_seconds"] != static["actual_seconds"]
+        assert isinstance(bad, ServeError)
+        assert rec.counters["serve/verify_dynamic"] == 1
+        # The static sweep tier holds only the static actual.
+        pair = sweep.lookup(cluster, program, dist)
+        assert pair is not None
+        assert pair[0] == static["actual_seconds"]
+
     def test_bad_query_errors_do_not_poison_the_round(self):
         coordinator = ServeCoordinator(window_seconds=0.02)
 
